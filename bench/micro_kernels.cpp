@@ -1,0 +1,127 @@
+//===- bench/micro_kernels.cpp - google-benchmark micro kernels -----------------------===//
+//
+// Micro-benchmarks (google-benchmark) isolating the mechanisms behind the
+// end-to-end results: fused vs unfused elementwise chains, data-movement
+// folding vs materialization, DFT chunk-size sensitivity, and the tiled
+// GEMM configurations the auto-tuner searches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphBuilder.h"
+#include "ops/Kernels.h"
+#include "runtime/Executor.h"
+#include "tensor/TensorUtils.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dnnfusion;
+
+namespace {
+
+Graph elementwiseChain(int64_t N, int Depth) {
+  GraphBuilder B(1);
+  NodeId H = B.input(Shape({N}));
+  for (int I = 0; I < Depth; ++I)
+    H = B.unary(I % 3 == 0   ? OpKind::Relu
+                : I % 3 == 1 ? OpKind::Sigmoid
+                             : OpKind::Neg,
+                H);
+  B.markOutput(H);
+  return B.take();
+}
+
+void runModel(benchmark::State &State, const CompiledModel &M) {
+  Executor E(M);
+  Rng R(3);
+  std::vector<Tensor> Inputs;
+  for (NodeId Id : M.InputIds) {
+    Tensor T(M.G.node(Id).OutShape);
+    fillRandom(T, R);
+    Inputs.push_back(std::move(T));
+  }
+  for (auto _ : State) {
+    E.run(Inputs);
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_ElementwiseChainUnfused(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  Opt.EnableFusion = false;
+  Opt.EnableOtherOpts = false;
+  CompiledModel M =
+      compileModel(elementwiseChain(State.range(0), 8), Opt);
+  runModel(State, M);
+}
+BENCHMARK(BM_ElementwiseChainUnfused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ElementwiseChainFused(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  CompiledModel M =
+      compileModel(elementwiseChain(State.range(0), 8), Opt);
+  runModel(State, M);
+}
+BENCHMARK(BM_ElementwiseChainFused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+Graph transposeChain(int64_t Side) {
+  GraphBuilder B(2);
+  NodeId X = B.input(Shape({Side, Side, 16}));
+  NodeId T = B.transpose(X, {1, 0, 2});
+  NodeId R = B.reshape(T, {Side * Side, 16});
+  B.markOutput(B.relu(R));
+  return B.take();
+}
+
+void BM_MovementFolded(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  CompiledModel M = compileModel(transposeChain(State.range(0)), Opt);
+  runModel(State, M);
+}
+BENCHMARK(BM_MovementFolded)->Arg(64)->Arg(160);
+
+void BM_MovementMaterialized(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  Opt.EnableOtherOpts = false;
+  CompiledModel M = compileModel(transposeChain(State.range(0)), Opt);
+  runModel(State, M);
+}
+BENCHMARK(BM_MovementMaterialized)->Arg(64)->Arg(160);
+
+void BM_ChunkSize(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  Opt.Codegen.ChunkSize = static_cast<int>(State.range(0));
+  CompiledModel M = compileModel(elementwiseChain(1 << 16, 8), Opt);
+  runModel(State, M);
+}
+BENCHMARK(BM_ChunkSize)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_MatmulTiled(benchmark::State &State) {
+  int64_t N = 256;
+  Rng R(5);
+  Tensor A(Shape({N, N})), B(Shape({N, N})), C(Shape({N, N}));
+  fillRandom(A, R);
+  fillRandom(B, R);
+  KernelConfig Config;
+  Config.TileM = static_cast<int>(State.range(0));
+  Config.TileN = static_cast<int>(State.range(1));
+  Config.TileK = static_cast<int>(State.range(2));
+  for (auto _ : State) {
+    matmulTiled(A.data(), B.data(), C.data(), N, N, N, Config);
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N * N * N);
+}
+BENCHMARK(BM_MatmulTiled)
+    ->Args({8, 8, 8})
+    ->Args({32, 128, 64})
+    ->Args({64, 256, 64})
+    ->Args({256, 256, 256});
+
+} // namespace
+
+BENCHMARK_MAIN();

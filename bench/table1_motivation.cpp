@@ -1,0 +1,36 @@
+//===- bench/table1_motivation.cpp - Paper Table 1 ---------------------------------===//
+//
+// "The relation of overall computation, layer count, and execution
+// efficiency": five models run under the fixed-pattern baseline (OurB+);
+// deeper models achieve lower FLOP/s despite comparable total FLOPs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace dnnfusion;
+using namespace dnnfusion::bench;
+
+int main() {
+  printHeading("Table 1: blessing and curse of deep layers",
+               "Models under the fixed-pattern fusion baseline (OurB+). The "
+               "paper's claim: layer count, not total FLOPs, limits achieved "
+               "FLOP/s.");
+  TablePrinter T({"Model", "#Total layer", "IRS size (MB)", "#FLOPS (M)",
+                  "Speed (GFLOPs/S)", "Latency (ms)"});
+  for (const char *Name : {"VGG-16", "YOLO-V4", "DistilBERT", "MobileBERT",
+                           "GPT-2"}) {
+    auto Build = [&] { return buildModel(Name); };
+    Graph G = Build();
+    CompiledModel M = compileConfig(Build, Config::OurBPlus);
+    double Ms = medianLatencyMs(M);
+    double GFlops = static_cast<double>(G.totalFlops()) / (Ms * 1e6);
+    T.addRow({Name, fmtCount(G.countLayers()), fmtMb(G.intermediateBytes()),
+              formatString("%.1f", static_cast<double>(G.totalFlops()) / 1e6),
+              formatString("%.2f", GFlops), fmtMs(Ms)});
+  }
+  T.print();
+  std::printf("\nExpected shape (paper): VGG-16 sustains the highest FLOP/s; "
+              "the deep transformer exports (MobileBERT, GPT-2) the lowest.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+//===- bench/table2_op_classification.cpp - Paper Table 2 --------------------------===//
+//
+// The operator -> mapping-type classification, generated from the operator
+// schema so the printed table is the classification the compiler actually
+// uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "ops/OpSchema.h"
+
+using namespace dnnfusion;
+using namespace dnnfusion::bench;
+
+int main() {
+  printHeading("Table 2: classification of DNN operators in mapping types",
+               "Generated from the live operator schema (ops/OpSchema.cpp).");
+  TablePrinter T({"Mapping type", "Operators", "Count"});
+  for (MappingType MT :
+       {MappingType::OneToOne, MappingType::OneToMany, MappingType::ManyToMany,
+        MappingType::Reorganize, MappingType::Shuffle}) {
+    std::vector<std::string> Ops;
+    for (int I = 0; I < NumOpKinds; ++I) {
+      OpKind K = opKindFromIndex(I);
+      if (K == OpKind::Input || K == OpKind::Constant)
+        continue;
+      if (staticMappingType(K) == MT)
+        Ops.push_back(opKindName(K));
+    }
+    T.addRow({mappingTypeName(MT), joinStrings(Ops, ", "),
+              fmtCount(static_cast<int64_t>(Ops.size()))});
+  }
+  T.print();
+  std::printf("\nNote: elementwise operators with a broadcasting operand are "
+              "classified One-to-Many at use sites (Table 2's 'Elementwise "
+              "w/ broadcast' row).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- bench/table3_mapping_analysis.cpp - Paper Table 3 ----------------------------===//
+//
+// The 5x5 mapping-type analysis matrix: fused mapping type plus the
+// green/yellow/red profitability verdict for every ordered combination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/FusionAnalysis.h"
+
+using namespace dnnfusion;
+using namespace dnnfusion::bench;
+
+int main() {
+  printHeading("Table 3: mapping type analysis",
+               "Rows: first (producer) operator type. Columns: second "
+               "(consumer) operator type. Cells: fused type [verdict].");
+  const MappingType Types[] = {MappingType::OneToOne, MappingType::OneToMany,
+                               MappingType::ManyToMany,
+                               MappingType::Reorganize, MappingType::Shuffle};
+  std::vector<std::string> Header = {"First op \\ Second op"};
+  for (MappingType S : Types)
+    Header.push_back(mappingTypeName(S));
+  TablePrinter T(Header);
+  int Green = 0, Yellow = 0, Red = 0;
+  for (MappingType F : Types) {
+    std::vector<std::string> Row = {mappingTypeName(F)};
+    for (MappingType S : Types) {
+      FusionVerdict V = fusionVerdict(F, S);
+      Green += V == FusionVerdict::FuseThrough;
+      Yellow += V == FusionVerdict::FuseDepend;
+      Red += V == FusionVerdict::FuseBreak;
+      Row.push_back(formatString("%s [%s]",
+                                 mappingTypeName(fusedMappingType(F, S)),
+                                 fusionVerdictColor(V)));
+    }
+    T.addRow(Row);
+  }
+  T.print();
+  std::printf("\ncells: %d green, %d yellow, %d red => %d code-generation "
+              "rules (paper: 23, one per green/yellow cell).\n",
+              Green, Yellow, Red, Green + Yellow);
+  return 0;
+}

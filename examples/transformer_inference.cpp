@@ -1,0 +1,83 @@
+//===- examples/transformer_inference.cpp - NLP workload walk-through ---------------===//
+//
+// The workload class the paper's introduction motivates: extremely deep
+// transformer exports whose layer count (not FLOPs) limits performance.
+// Runs TinyBERT through every pipeline stage and reports what each one
+// contributed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/ModelZoo.h"
+#include "runtime/DeviceModel.h"
+#include "runtime/Executor.h"
+#include "tensor/TensorUtils.h"
+
+#include <cstdio>
+
+using namespace dnnfusion;
+
+namespace {
+
+double timeModel(const CompiledModel &M) {
+  Executor E(M);
+  Rng R(3);
+  std::vector<Tensor> Inputs;
+  for (NodeId Id : M.InputIds) {
+    Tensor T(M.G.node(Id).OutShape);
+    fillRandom(T, R, -0.5f, 0.5f);
+    Inputs.push_back(std::move(T));
+  }
+  ExecutionStats Stats;
+  E.run(Inputs, &Stats); // Warm-up.
+  E.run(Inputs, &Stats);
+  return Stats.WallMs;
+}
+
+} // namespace
+
+int main() {
+  Graph G = buildTinyBert();
+  std::printf("TinyBERT export: %lld operator layers (%lld compute-"
+              "intensive), %.2f MB of intermediate results\n",
+              static_cast<long long>(G.countLayers()),
+              static_cast<long long>(G.countComputeIntensiveLayers()),
+              static_cast<double>(G.intermediateBytes()) / 1048576.0);
+  std::printf("note the layer mix: LayerNorm arrives decomposed into "
+              "Sub/Square/ReduceMean/Add/Sqrt/Div, GELU into Erf/Mul/Add — "
+              "exactly the sequences fixed-pattern fusers cannot cover.\n\n");
+
+  struct Stage {
+    const char *Name;
+    CompileOptions Opt;
+  };
+  std::vector<Stage> Stages;
+  {
+    CompileOptions OurB;
+    OurB.EnableGraphRewriting = false;
+    OurB.EnableFusion = false;
+    OurB.EnableOtherOpts = false;
+    Stages.push_back({"no optimization (OurB)", OurB});
+    CompileOptions Gr = OurB;
+    Gr.EnableGraphRewriting = true;
+    Stages.push_back({"+ graph rewriting", Gr});
+    CompileOptions Fuse = Gr;
+    Fuse.EnableFusion = true;
+    Stages.push_back({"+ mapping-type fusion", Fuse});
+    Stages.push_back({"+ data-movement folding (full DNNFusion)",
+                      CompileOptions()});
+  }
+
+  DeviceProfile Gpu = snapdragon865Gpu();
+  for (const Stage &S : Stages) {
+    CompiledModel M = compileModel(buildTinyBert(), S.Opt);
+    std::printf("%-42s kernels=%4lld  cpu=%6.2f ms  modeled-mobile-gpu=%6.3f "
+                "ms\n",
+                S.Name, static_cast<long long>(M.kernelLaunches()),
+                timeModel(M), modelLatencyMs(M, Gpu));
+  }
+  std::printf("\nThe attention projections (MatMul + bias Add + Reshape + "
+              "Transpose) and the LayerNorm tails each collapse into single "
+              "fused kernels; Softmax and the attention MatMuls stay "
+              "separate (Many-to-Many pairs are red in Table 3).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- examples/vision_pipeline.cpp - detection workload walk-through ---------------===//
+//
+// The mobile-vision workload: YOLO-V4 with Mish activations, SPP, and
+// PANet routing. Shows per-framework fusion coverage on one real graph and
+// the resulting latency/traffic differences on the shared runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/FixedPatternFuser.h"
+#include "models/ModelZoo.h"
+#include "runtime/Executor.h"
+#include "tensor/TensorUtils.h"
+
+#include <cstdio>
+
+using namespace dnnfusion;
+
+int main() {
+  Graph G = buildYoloV4();
+  std::printf("YOLO-V4: %lld layers (%lld convolutions), %.1f MFLOPs\n\n",
+              static_cast<long long>(G.countLayers()),
+              static_cast<long long>(G.countComputeIntensiveLayers()),
+              static_cast<double>(G.totalFlops()) / 1e6);
+
+  Rng R(9);
+  Tensor Image(Shape({1, 3, 64, 64}));
+  fillRandom(Image, R);
+
+  auto Report = [&](const char *Name, CompiledModel M) {
+    Executor E(M);
+    ExecutionStats Stats;
+    E.run({Image}, &Stats); // Warm-up.
+    E.run({Image}, &Stats);
+    std::printf("%-14s kernels=%4lld  latency=%7.2f ms  traffic=%6.2f MB  "
+                "peak-arena=%5.2f MB\n",
+                Name, static_cast<long long>(Stats.KernelLaunches),
+                Stats.WallMs,
+                static_cast<double>(Stats.MainBytesRead +
+                                    Stats.MainBytesWritten) /
+                    1048576.0,
+                static_cast<double>(Stats.PeakArenaBytes) / 1048576.0);
+  };
+
+  for (BaselineFramework F :
+       {BaselineFramework::PytorchLike, BaselineFramework::TfliteLike,
+        BaselineFramework::MnnLike, BaselineFramework::TvmLike}) {
+    Graph Gf = buildYoloV4();
+    FusionPlan Plan = fixedPatternFusion(Gf, F);
+    Report(baselineFrameworkName(F),
+           compileModelWithPlan(std::move(Gf), std::move(Plan)));
+  }
+  Report("DNNFusion", compileModel(buildYoloV4(), CompileOptions()));
+
+  std::printf("\nWhy DNNFusion wins here: Mish (x * tanh(softplus(x))) and "
+              "the SPP/PANet Concat+Upsample routing are not in any "
+              "framework's pattern list, but classify cleanly under the "
+              "mapping-type analysis, so whole activation+routing chains "
+              "fuse behind each convolution.\n");
+  return 0;
+}

@@ -1,0 +1,224 @@
+//===- baselines/FixedPatternFuser.cpp - Framework-like fusers --------------------===//
+
+#include "baselines/FixedPatternFuser.h"
+
+#include "core/FusionPlanner.h"
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+const char *dnnfusion::baselineFrameworkName(BaselineFramework F) {
+  switch (F) {
+  case BaselineFramework::TvmLike:
+    return "TVM-like";
+  case BaselineFramework::MnnLike:
+    return "MNN-like";
+  case BaselineFramework::TfliteLike:
+    return "TFLite-like";
+  case BaselineFramework::PytorchLike:
+    return "PyTorch-like";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isComplexOut(OpKind K) {
+  switch (K) {
+  case OpKind::Conv:
+  case OpKind::ConvTranspose:
+  case OpKind::MatMul:
+  case OpKind::Gemm:
+  case OpKind::MaxPool:
+  case OpKind::AveragePool:
+  case OpKind::GlobalAveragePool:
+  case OpKind::ReduceSum:
+  case OpKind::ReduceMean:
+  case OpKind::ReduceMax:
+  case OpKind::ReduceMin:
+  case OpKind::ReduceProd:
+  case OpKind::Softmax:
+  case OpKind::CumSum:
+  case OpKind::InstanceNormalization:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// "Injective" in the Relay sense, restricted to elementwise computation —
+/// the frameworks' patterns do not reach through Reshape/Transpose/Concat
+/// (paper §6: "MatMul + Reshape + Transpose + Add ... cannot be
+/// recognized").
+bool isInjectiveElementwise(OpKind K) {
+  return isElementwise(K) || K == OpKind::BatchNormalization;
+}
+
+bool isActivation(OpKind K, bool Narrow) {
+  if (K == OpKind::Relu || K == OpKind::Clip)
+    return true;
+  if (Narrow)
+    return false;
+  return K == OpKind::LeakyRelu || K == OpKind::Sigmoid || K == OpKind::Tanh ||
+         K == OpKind::PRelu;
+}
+
+struct PatternFuser {
+  const Graph &G;
+  std::vector<std::vector<NodeId>> Consumers;
+  std::vector<int> Assigned;
+  std::vector<std::vector<NodeId>> Groups;
+
+  explicit PatternFuser(const Graph &G)
+      : G(G), Consumers(G.computeConsumers()),
+        Assigned(static_cast<size_t>(G.numNodes()), -1) {}
+
+  bool isOperator(NodeId Id) const {
+    const Node &N = G.node(Id);
+    return !N.Dead && N.Kind != OpKind::Input && N.Kind != OpKind::Constant;
+  }
+
+  /// The unique unassigned operator consumer of \p Id, or InvalidNodeId.
+  NodeId soleConsumer(NodeId Id) const {
+    const auto &Users = Consumers[static_cast<size_t>(Id)];
+    if (Users.size() != 1)
+      return InvalidNodeId;
+    NodeId User = Users[0];
+    if (!isOperator(User) || Assigned[static_cast<size_t>(User)] >= 0)
+      return InvalidNodeId;
+    return User;
+  }
+
+  /// True when every input of \p Id other than \p Producer is already
+  /// computed (leaf or earlier group) — the convexity condition.
+  bool otherInputsReady(NodeId Id, NodeId Producer) const {
+    for (NodeId In : G.node(Id).Inputs) {
+      if (In == Producer)
+        continue;
+      const Node &P = G.node(In);
+      if (P.Kind == OpKind::Input || P.Kind == OpKind::Constant)
+        continue;
+      if (Assigned[static_cast<size_t>(In)] < 0)
+        return false;
+    }
+    return true;
+  }
+
+  void assign(std::vector<NodeId> &Group, NodeId Id) {
+    Assigned[static_cast<size_t>(Id)] = static_cast<int>(Groups.size());
+    Group.push_back(Id);
+  }
+
+  /// Absorbs the downstream single-consumer chain while \p Accept approves
+  /// the next operator. Returns the new sink.
+  template <typename Pred>
+  NodeId absorbChain(std::vector<NodeId> &Group, NodeId Sink, Pred Accept,
+                     int MaxLen) {
+    int Len = 0;
+    while (Len < MaxLen) {
+      NodeId Next = soleConsumer(Sink);
+      if (Next == InvalidNodeId || !Accept(Next) ||
+          !otherInputsReady(Next, Sink))
+        break;
+      assign(Group, Next);
+      Sink = Next;
+      ++Len;
+    }
+    return Sink;
+  }
+
+  FusionPlan finish() { return planFromGroups(G, Groups); }
+};
+
+FusionPlan fuseTvmLike(const Graph &G) {
+  PatternFuser F(G);
+  for (NodeId Id : G.topologicalOrder()) {
+    if (!F.isOperator(Id) || F.Assigned[static_cast<size_t>(Id)] >= 0)
+      continue;
+    std::vector<NodeId> Group;
+    F.assign(Group, Id);
+    OpKind K = G.node(Id).Kind;
+    if (isComplexOut(K) || isInjectiveElementwise(K)) {
+      // Absorb the downstream injective chain (unbounded, Relay-style).
+      F.absorbChain(Group, Id,
+                    [&](NodeId Next) {
+                      return isInjectiveElementwise(G.node(Next).Kind);
+                    },
+                    /*MaxLen=*/1 << 20);
+    }
+    F.Groups.push_back(std::move(Group));
+  }
+  return F.finish();
+}
+
+FusionPlan fuseConvCentric(const Graph &G, BaselineFramework Flavor) {
+  PatternFuser F(G);
+  bool NarrowAct = Flavor == BaselineFramework::TfliteLike ||
+                   Flavor == BaselineFramework::PytorchLike;
+  for (NodeId Id : G.topologicalOrder()) {
+    if (!F.isOperator(Id) || F.Assigned[static_cast<size_t>(Id)] >= 0)
+      continue;
+    std::vector<NodeId> Group;
+    F.assign(Group, Id);
+    OpKind K = G.node(Id).Kind;
+    NodeId Sink = Id;
+
+    if (K == OpKind::Conv || K == OpKind::ConvTranspose) {
+      // Conv [+ BatchNorm] [+ activation].
+      Sink = F.absorbChain(Group, Sink,
+                           [&](NodeId Next) {
+                             return G.node(Next).Kind ==
+                                    OpKind::BatchNormalization;
+                           },
+                           1);
+      F.absorbChain(Group, Sink,
+                    [&](NodeId Next) {
+                      return isActivation(G.node(Next).Kind, NarrowAct);
+                    },
+                    1);
+    } else if (K == OpKind::MatMul || K == OpKind::Gemm) {
+      // MatMul + bias Add [+ activation].
+      Sink = F.absorbChain(Group, Sink,
+                           [&](NodeId Next) {
+                             return G.node(Next).Kind == OpKind::Add;
+                           },
+                           1);
+      if (Flavor != BaselineFramework::PytorchLike)
+        F.absorbChain(Group, Sink,
+                      [&](NodeId Next) {
+                        return isActivation(G.node(Next).Kind, NarrowAct);
+                      },
+                      1);
+    } else if (isElementwiseBinary(K) &&
+               Flavor != BaselineFramework::PytorchLike) {
+      // Binary + one activation.
+      F.absorbChain(Group, Sink,
+                    [&](NodeId Next) {
+                      return isActivation(G.node(Next).Kind, NarrowAct);
+                    },
+                    1);
+    } else if (isElementwiseUnary(K) &&
+               Flavor == BaselineFramework::MnnLike) {
+      // MNN merges short unary chains.
+      F.absorbChain(Group, Sink,
+                    [&](NodeId Next) {
+                      return isElementwiseUnary(G.node(Next).Kind);
+                    },
+                    2);
+    }
+    F.Groups.push_back(std::move(Group));
+  }
+  return F.finish();
+}
+
+} // namespace
+
+FusionPlan dnnfusion::fixedPatternFusion(const Graph &G,
+                                         BaselineFramework F) {
+  if (F == BaselineFramework::TvmLike)
+    return fuseTvmLike(G);
+  return fuseConvCentric(G, F);
+}

@@ -1,0 +1,15 @@
+//===- baselines/TasoLike.cpp - Substitution-only optimizer -----------------------===//
+
+#include "baselines/TasoLike.h"
+
+using namespace dnnfusion;
+
+RewriteStats dnnfusion::optimizeTasoLike(Graph &G) {
+  // TASO searches algebraic substitutions with a cost model; our greedy
+  // #FLOPs-ranked driver over the same rule families is the equivalent
+  // fixpoint. The crucial difference to DNNFusion is downstream: the
+  // result feeds a fixed-pattern fuser instead of mapping-type-driven
+  // fusion planning.
+  RewriteOptions Options;
+  return rewriteGraph(G, Options);
+}

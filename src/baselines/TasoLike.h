@@ -1,0 +1,31 @@
+//===- baselines/TasoLike.h - Substitution-only optimizer ----------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TASO-like baseline (paper Figure 6): automatic graph substitution
+/// *decoupled from fusion*. It applies the same algebraic substitution
+/// rules DNNFusion derives (cost-ranked, to fixpoint) but then hands the
+/// graph to a fixed-pattern fuser, exactly the configuration the paper
+/// evaluates ("models are optimized by TASO and then executed on TFLite").
+/// The Figure 6 gap therefore isolates the value of designing rewriting
+/// *for* fusion rather than the rule set itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_BASELINES_TASOLIKE_H
+#define DNNFUSION_BASELINES_TASOLIKE_H
+
+#include "core/GraphRewriter.h"
+#include "graph/Graph.h"
+
+namespace dnnfusion {
+
+/// Applies TASO-style automatic substitutions to \p G (in place).
+RewriteStats optimizeTasoLike(Graph &G);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_BASELINES_TASOLIKE_H

@@ -1,0 +1,118 @@
+//===- core/BlockCompiler.h - Fusion code generation --------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fused code generation (paper §4.4): compiles a FusionBlock into an
+/// executable CompiledBlock. A block becomes a short sequence of steps
+/// executed as one kernel launch:
+///
+///  - Expression steps evaluate a data-flow tree (elementwise chains with
+///    all data-movement operators folded into index arithmetic) chunk-wise
+///    into an output or scratch buffer — true loop fusion, no intermediate
+///    materialization.
+///  - RefKernel steps run one Many-to-Many operator (Conv/GEMM/Reduce/...)
+///    with its optimized kernel. Producers fused into the block are staged
+///    into block-local scratch first (the paper's IR_removable = false
+///    case), so the block still launches once and its intermediates never
+///    reach the main tensor arena.
+///
+/// Common subexpressions (values with multiple consumers inside the block)
+/// are materialized once into scratch, mirroring the common-subtree
+/// identification of Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_CORE_BLOCKCOMPILER_H
+#define DNNFUSION_CORE_BLOCKCOMPILER_H
+
+#include "core/Dft.h"
+#include "core/FusionPlan.h"
+#include "ops/Kernels.h"
+
+namespace dnnfusion {
+
+/// Code-generation toggles (Figure 7's "Other" optimizations and the
+/// ablation benches).
+struct CodegenOptions {
+  /// Fold Reorganize/Shuffle/Slice/Expand/Gather into index chains
+  /// (intra-block data-movement optimization). When false these operators
+  /// materialize copies even inside fusion blocks.
+  bool FoldDataMovement = true;
+  /// Materialize block-internal values with multiple consumers once (CSE);
+  /// when false shared subtrees are recomputed per consumer.
+  bool MaterializeShared = true;
+  /// Elements per evaluation chunk (<= DftMaxChunk).
+  int ChunkSize = 256;
+};
+
+/// One step of a compiled block.
+struct CompiledStep {
+  enum class Kind { RefKernel, Expression };
+  Kind K = Kind::Expression;
+  /// Graph node this step computes.
+  NodeId Origin = InvalidNodeId;
+
+  // RefKernel.
+  OpKind Op = OpKind::Identity;
+  AttrMap Attrs;
+  std::vector<int> InputSlots;
+  std::vector<Shape> InputShapes;
+
+  // Expression.
+  DftTree Tree;
+
+  int OutputSlot = -1;
+  Shape OutShape;
+};
+
+/// An executable fused kernel.
+struct CompiledBlock {
+  /// External producer node per external slot; slot i = i.
+  std::vector<NodeId> ExternalInputs;
+
+  /// Block-local buffers (materialized members and staging temporaries);
+  /// local j occupies slot ExternalInputs.size() + j.
+  struct LocalBuffer {
+    NodeId Node = InvalidNodeId; ///< Graph node whose value this holds.
+    Shape Sh;
+    /// True when this buffer is a block output (allocated in the model
+    /// arena by the memory planner); false = transient scratch.
+    bool IsBlockOutput = false;
+  };
+  std::vector<LocalBuffer> Locals;
+
+  std::vector<CompiledStep> Steps;
+
+  int numSlots() const {
+    return static_cast<int>(ExternalInputs.size() + Locals.size());
+  }
+  /// Bytes of transient scratch the block needs.
+  int64_t scratchBytes() const;
+  /// Total fused operators evaluated inside expression steps.
+  int fusedExpressionOps() const;
+};
+
+/// Compiles \p Block of \p G.
+CompiledBlock compileBlock(const Graph &G, const FusionBlock &Block,
+                           const CodegenOptions &Options = {});
+
+/// Buffer bindings for one block execution.
+struct BlockIo {
+  /// Pointer per external input slot (same order as ExternalInputs).
+  std::vector<const float *> Externals;
+  /// Pointer per local buffer (same order as Locals).
+  std::vector<float *> LocalPtrs;
+};
+
+/// Executes \p Block with \p Io. Runs steps sequentially; each step is
+/// internally parallel.
+void executeBlock(const CompiledBlock &Block, const BlockIo &Io,
+                  const CodegenOptions &Options = {},
+                  const KernelConfig &Kernels = {});
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_CORE_BLOCKCOMPILER_H

@@ -1,0 +1,57 @@
+//===- core/CodeEmitter.h - Fused kernel source rendering ---------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a CompiledBlock as C++ source text — the artifact the paper's
+/// code generator would hand to the mobile toolchain. This reproduction
+/// executes blocks through the DFT evaluator directly (no runtime C++
+/// compiler is available), so the emitted source serves auditability: it
+/// shows exactly which loops were fused, which index arithmetic replaced
+/// data movement, and which values stayed materialized. Once emitted, a
+/// kernel is cached by signature and reused across models (paper §4.4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_CORE_CODEEMITTER_H
+#define DNNFUSION_CORE_CODEEMITTER_H
+
+#include "core/BlockCompiler.h"
+
+#include <map>
+#include <string>
+
+namespace dnnfusion {
+
+/// Renders \p Block as a self-describing C++ function named \p KernelName.
+std::string emitBlockSource(const Graph &G, const CompiledBlock &Block,
+                            const std::string &KernelName);
+
+/// Structural signature of a fused kernel: operator kinds, attribute
+/// signatures, and shapes. Two blocks with equal signatures can share one
+/// generated kernel (paper: "once a new operator is generated, it can be
+/// used for both the current model and future models").
+std::string blockSignature(const Graph &G, const FusionBlock &Block);
+
+/// A cache of generated kernels keyed by blockSignature.
+class FusedOpCache {
+public:
+  /// Returns true when \p Signature was already generated (cache hit) and
+  /// records the lookup either way.
+  bool lookupOrInsert(const std::string &Signature);
+
+  int hits() const { return Hits; }
+  int misses() const { return Misses; }
+  int size() const { return static_cast<int>(Known.size()); }
+
+private:
+  std::map<std::string, int> Known;
+  int Hits = 0;
+  int Misses = 0;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_CORE_CODEEMITTER_H

@@ -1,0 +1,26 @@
+//===- core/Ecg.cpp - Extended Computational Graph annotations ----------------===//
+
+#include "core/Ecg.h"
+
+#include "ops/OpSchema.h"
+
+using namespace dnnfusion;
+
+Ecg::Ecg(const Graph &G) : Infos(static_cast<size_t>(G.numNodes())) {
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    if (N.Dead)
+      continue;
+    EcgNodeInfo &I = Infos[static_cast<size_t>(Id)];
+    if (N.Kind == OpKind::Input || N.Kind == OpKind::Constant) {
+      I.MT = MappingType::OneToOne;
+      I.IrsBytes = 0;
+      continue;
+    }
+    I.MT = dnnfusion::mappingType(N.Kind, N.Attrs, G.inputShapes(Id));
+    I.Associative = isAssociativeOp(N.Kind);
+    I.Commutative = isCommutativeOp(N.Kind);
+    I.RewriteRegion = isRewriteRegionOp(N.Kind);
+    I.IrsBytes = N.outBytes();
+  }
+}

@@ -1,0 +1,60 @@
+//===- core/Ecg.h - Extended Computational Graph annotations ------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Extended Computational Graph (paper §3.2): the computational graph
+/// enriched with per-operator fusion-relevant information — the mapping
+/// type, algebraic property flags, intermediate-result size, and the
+/// IR_removable flag filled in during fusion planning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_CORE_ECG_H
+#define DNNFUSION_CORE_ECG_H
+
+#include "graph/Graph.h"
+#include "ops/MappingType.h"
+
+#include <vector>
+
+namespace dnnfusion {
+
+/// Per-node ECG annotation.
+struct EcgNodeInfo {
+  MappingType MT = MappingType::OneToOne;
+  bool Associative = false;
+  bool Commutative = false;
+  /// May participate in mathematical-property graph rewriting.
+  bool RewriteRegion = false;
+  /// Output (intermediate result) size in bytes.
+  int64_t IrsBytes = 0;
+  /// True when the intermediate result is eliminated entirely by fusion
+  /// (every consumer lives in the same fusion block and the value is not
+  /// materialized). Filled in by the fusion planner.
+  bool IrRemovable = false;
+  /// Fusion block index; -1 before planning.
+  int BlockIndex = -1;
+};
+
+/// ECG: annotations for every node of a Graph, indexed by NodeId.
+class Ecg {
+public:
+  /// Computes annotations for every live node of \p G.
+  explicit Ecg(const Graph &G);
+
+  const EcgNodeInfo &info(NodeId Id) const { return Infos[static_cast<size_t>(Id)]; }
+  EcgNodeInfo &info(NodeId Id) { return Infos[static_cast<size_t>(Id)]; }
+
+  /// Mapping type of node \p Id (input-shape sensitive, Table 2).
+  MappingType mappingType(NodeId Id) const { return info(Id).MT; }
+
+private:
+  std::vector<EcgNodeInfo> Infos;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_CORE_ECG_H

@@ -1,0 +1,126 @@
+//===- core/FusionPlan.cpp - Fusion blocks and plans ---------------------------===//
+
+#include "core/FusionPlan.h"
+
+#include "core/Ecg.h"
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dnnfusion;
+
+bool FusionBlock::contains(NodeId Id) const {
+  return std::find(Members.begin(), Members.end(), Id) != Members.end();
+}
+
+int64_t FusionPlan::intermediateBytesAfterFusion(const Graph &G) const {
+  std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+  int64_t Bytes = 0;
+  for (const FusionBlock &B : Blocks)
+    for (NodeId Out : B.Outputs) {
+      // Count outputs that feed another block (true intermediates).
+      bool FeedsOtherBlock = false;
+      for (NodeId User : Consumers[static_cast<size_t>(Out)])
+        if (BlockOfNode[static_cast<size_t>(User)] >= 0 &&
+            &Blocks[static_cast<size_t>(
+                BlockOfNode[static_cast<size_t>(User)])] != &B)
+          FeedsOtherBlock = true;
+      if (FeedsOtherBlock)
+        Bytes += G.node(Out).outBytes();
+    }
+  return Bytes;
+}
+
+std::string FusionPlan::toString(const Graph &G) const {
+  std::string Out;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    const FusionBlock &B = Blocks[I];
+    Out += formatString("block %zu [%s, seed=%d]:", I,
+                        mappingTypeName(B.FusedType), B.Seed);
+    for (NodeId Id : B.Members)
+      Out += formatString(" %s%%%d", opKindName(G.node(Id).Kind), Id);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void FusionPlan::verify(const Graph &G) const {
+  std::vector<int> Seen(static_cast<size_t>(G.numNodes()), -1);
+  for (size_t BI = 0; BI < Blocks.size(); ++BI) {
+    DNNF_CHECK(!Blocks[BI].Members.empty(), "empty fusion block %zu", BI);
+    for (NodeId Id : Blocks[BI].Members) {
+      const Node &N = G.node(Id);
+      DNNF_CHECK(!N.Dead && N.Kind != OpKind::Input &&
+                     N.Kind != OpKind::Constant,
+                 "block %zu contains non-operator node %d", BI, Id);
+      DNNF_CHECK(Seen[static_cast<size_t>(Id)] < 0,
+                 "node %d assigned to two blocks", Id);
+      Seen[static_cast<size_t>(Id)] = static_cast<int>(BI);
+    }
+  }
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    if (N.Dead || N.Kind == OpKind::Input || N.Kind == OpKind::Constant)
+      continue;
+    DNNF_CHECK(Seen[static_cast<size_t>(Id)] >= 0,
+               "operator node %d not covered by any block", Id);
+    DNNF_CHECK(Seen[static_cast<size_t>(Id)] ==
+                   BlockOfNode[static_cast<size_t>(Id)],
+               "BlockOfNode inconsistent for node %d", Id);
+  }
+  // Execution order: every external producer of block i must live in an
+  // earlier block (or be an Input/Constant).
+  for (size_t BI = 0; BI < Blocks.size(); ++BI)
+    for (NodeId Id : Blocks[BI].Members)
+      for (NodeId In : G.node(Id).Inputs) {
+        int ProducerBlock = Seen[static_cast<size_t>(In)];
+        if (ProducerBlock < 0)
+          continue; // Input/Constant.
+        DNNF_CHECK(static_cast<size_t>(ProducerBlock) <= BI,
+                   "block order violates dependency: block %zu needs node %d "
+                   "from block %d",
+                   BI, In, ProducerBlock);
+        if (static_cast<size_t>(ProducerBlock) == BI)
+          continue;
+      }
+}
+
+LatencyOracle::~LatencyOracle() = default;
+
+double CostModelOracle::blockLatencyMs(const Graph &G,
+                                       const std::vector<NodeId> &Members) {
+  std::set<NodeId> InBlock(Members.begin(), Members.end());
+  std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+
+  int64_t Flops = 0;
+  int64_t ExternalBytes = 0;
+  bool HasManyToMany = false, HasGatherish = false;
+  std::set<NodeId> CountedInputs;
+  for (NodeId Id : Members) {
+    const Node &N = G.node(Id);
+    Flops += flopCount(N.Kind, N.Attrs, G.inputShapes(Id), N.OutShape);
+    MappingType MT = mappingType(N.Kind, N.Attrs, G.inputShapes(Id));
+    HasManyToMany |= MT == MappingType::ManyToMany;
+    HasGatherish |=
+        MT == MappingType::Shuffle || MT == MappingType::OneToMany;
+    for (NodeId In : N.Inputs)
+      if (!InBlock.count(In) && CountedInputs.insert(In).second)
+        ExternalBytes += G.node(In).outBytes();
+    bool Escapes = false;
+    for (NodeId User : Consumers[static_cast<size_t>(Id)])
+      Escapes |= !InBlock.count(User);
+    const std::vector<NodeId> &Outs = G.outputs();
+    Escapes |= std::find(Outs.begin(), Outs.end(), Id) != Outs.end();
+    if (Escapes)
+      ExternalBytes += N.outBytes();
+  }
+
+  double FlopsMs = static_cast<double>(Flops) / (P.GFlops * 1e6);
+  if (HasManyToMany && HasGatherish)
+    FlopsMs *= 1.0 + P.GatherPenalty;
+  double BytesMs = static_cast<double>(ExternalBytes) / (P.GBytesPerSec * 1e6);
+  return P.LaunchOverheadMs + FlopsMs + BytesMs;
+}

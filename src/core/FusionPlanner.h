@@ -1,0 +1,78 @@
+//===- core/FusionPlanner.h - Fusion plan exploration -------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Light-weight profile-driven fusion plan exploration (paper §4.3,
+/// Listing 1): select One-to-One seed operators with minimal intermediate
+/// results, grow each block through the seed's successors then
+/// predecessors, deciding every step with the Table 3 mapping-type
+/// analysis, a register-pressure-style constraint check, and — for yellow
+/// combinations — a latency oracle (profiling database or cost model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_CORE_FUSIONPLANNER_H
+#define DNNFUSION_CORE_FUSIONPLANNER_H
+
+#include "core/FusionPlan.h"
+
+namespace dnnfusion {
+
+/// Planner configuration; the non-default values exist for the ablation
+/// benches (seed policy, yellow handling, constraint threshold).
+struct PlannerOptions {
+  /// How fusion seeds are chosen among unassigned One-to-One operators.
+  enum class SeedPolicy {
+    MinIntermediateResult, ///< The paper's policy (Listing 1).
+    MaxIntermediateResult, ///< Ablation: largest intermediate first.
+    FirstTopological,      ///< Ablation: first One-to-One in id order.
+  };
+  SeedPolicy Seeds = SeedPolicy::MinIntermediateResult;
+
+  /// Constraint check (Listing 1 step 2.2): block size cap, a proxy for
+  /// register pressure / excessive spills.
+  int MaxOpsPerBlock = 64;
+  /// Cap on distinct external inputs of a block (second pressure proxy).
+  int MaxBlockInputs = 40;
+
+  /// When false, yellow (fuse_depend) candidates are rejected outright
+  /// instead of consulting the oracle (ablation).
+  bool EnableYellowFusion = true;
+};
+
+/// Statistics of one planning run.
+struct PlannerStats {
+  int SeedsUsed = 0;
+  int GreenFusions = 0;
+  int YellowAccepted = 0;
+  int YellowRejected = 0;
+  int RedRejected = 0;
+  int ConstraintRejected = 0;
+  int CycleRejected = 0;
+  /// Oracle consultations (profile-database lookups / measurements).
+  int OracleQueries = 0;
+};
+
+/// Explores fusion plans for \p G. \p Oracle resolves yellow decisions;
+/// when null a CostModelOracle is used. Returns a verified plan whose
+/// blocks are in execution order.
+FusionPlan planFusion(const Graph &G, LatencyOracle *Oracle = nullptr,
+                      const PlannerOptions &Options = {},
+                      PlannerStats *Stats = nullptr);
+
+/// The trivial no-fusion plan (every operator its own block) — the OurB
+/// baseline.
+FusionPlan planNoFusion(const Graph &G);
+
+/// Wraps an externally produced partition (e.g. a fixed-pattern baseline
+/// fuser's groups) into a verified FusionPlan in execution order. Groups
+/// must cover all operator nodes exactly once.
+FusionPlan planFromGroups(const Graph &G,
+                          const std::vector<std::vector<NodeId>> &Groups);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_CORE_FUSIONPLANNER_H

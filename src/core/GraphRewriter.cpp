@@ -1,0 +1,150 @@
+//===- core/GraphRewriter.cpp - Rewrite driver ---------------------------------===//
+
+#include "core/GraphRewriter.h"
+
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+std::string RewriteStats::toString() const {
+  return formatString(
+      "applications=%d (assoc=%d dist=%d comm=%d canon=%d fold=%d) "
+      "flops %lld -> %lld, layers %lld -> %lld, regions=%d",
+      Applications, PerCategory[0], PerCategory[1], PerCategory[2],
+      PerCategory[3], PerCategory[4], static_cast<long long>(FlopsBefore),
+      static_cast<long long>(FlopsAfter), static_cast<long long>(LayersBefore),
+      static_cast<long long>(LayersAfter), NumRegions);
+}
+
+namespace {
+
+bool categoryEnabled(RuleCategory C, const RewriteOptions &Opt) {
+  switch (C) {
+  case RuleCategory::Associative:
+    return Opt.EnableAssociative;
+  case RuleCategory::Distributive:
+    return Opt.EnableDistributive;
+  case RuleCategory::Commutative:
+    return Opt.EnableCommutative;
+  case RuleCategory::Canonicalization:
+    return Opt.EnableCanonicalization;
+  case RuleCategory::Folding:
+    return Opt.EnableFolding;
+  }
+  return true;
+}
+
+struct Candidate {
+  const RewriteRule *Rule;
+  RuleApplication App;
+};
+
+} // namespace
+
+int dnnfusion::countRewriteRegions(const Graph &G) {
+  // Union-find over live rewrite-region operators connected by data edges.
+  std::vector<int> Parent(static_cast<size_t>(G.numNodes()), -1);
+  std::function<int(int)> find = [&](int X) {
+    while (Parent[static_cast<size_t>(X)] != X)
+      X = Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+    return X;
+  };
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    if (!N.Dead && isRewriteRegionOp(N.Kind))
+      Parent[static_cast<size_t>(Id)] = Id;
+  }
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    if (N.Dead || !isRewriteRegionOp(N.Kind))
+      continue;
+    for (NodeId In : N.Inputs) {
+      if (Parent[static_cast<size_t>(In)] < 0)
+        continue;
+      int Ra = find(Id), Rb = find(In);
+      if (Ra != Rb)
+        Parent[static_cast<size_t>(Ra)] = Rb;
+    }
+  }
+  int Regions = 0;
+  for (int Id = 0; Id < G.numNodes(); ++Id)
+    if (Parent[static_cast<size_t>(Id)] == Id)
+      ++Regions;
+  return Regions;
+}
+
+RewriteStats dnnfusion::rewriteGraph(Graph &G, const RewriteOptions &Options) {
+  RewriteStats Stats;
+  Stats.FlopsBefore = G.totalFlops();
+  Stats.LayersBefore = G.countLayers();
+  Stats.NumRegions = countRewriteRegions(G);
+
+  std::vector<const RewriteRule *> Rules;
+  for (const RewriteRule &Rule : allRewriteRules())
+    if (categoryEnabled(Rule.category(), Options))
+      Rules.push_back(&Rule);
+
+  bool Progress = true;
+  while (Progress && Stats.Applications < Options.MaxApplications) {
+    Progress = false;
+
+    // One scan: collect all candidates under the current graph.
+    std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+    std::vector<Candidate> Candidates;
+    for (int Id = 0; Id < G.numNodes(); ++Id) {
+      if (G.node(Id).Dead)
+        continue;
+      for (const RewriteRule *Rule : Rules)
+        if (auto App = Rule->match(G, Id, Consumers))
+          Candidates.push_back(Candidate{Rule, std::move(*App)});
+    }
+    if (Candidates.empty())
+      break;
+
+    // Greedy: largest estimated #FLOPs reduction first (the paper's
+    // metric), priority and node id as deterministic tie-breakers.
+    std::stable_sort(Candidates.begin(), Candidates.end(),
+                     [](const Candidate &A, const Candidate &B) {
+                       if (A.App.FlopsSaved != B.App.FlopsSaved)
+                         return A.App.FlopsSaved > B.App.FlopsSaved;
+                       if (A.Rule->priority() != B.Rule->priority())
+                         return A.Rule->priority() > B.Rule->priority();
+                       return A.App.Root < B.App.Root;
+                     });
+
+    bool ConsumersStale = false;
+    for (const Candidate &Cand : Candidates) {
+      if (Stats.Applications >= Options.MaxApplications)
+        break;
+      if (G.node(Cand.App.Root).Dead)
+        continue;
+      // The graph may have changed since the scan: re-validate at the root.
+      if (ConsumersStale) {
+        Consumers = G.computeConsumers();
+        ConsumersStale = false;
+      }
+      auto Fresh = Cand.Rule->match(G, Cand.App.Root, Consumers);
+      if (!Fresh)
+        continue;
+      NodeId Replacement = Fresh->Build(G);
+      if (Replacement == Fresh->Root)
+        continue;
+      G.replaceAllUses(Fresh->Root, Replacement);
+      G.eraseDeadNodes();
+      ConsumersStale = true;
+      ++Stats.Applications;
+      ++Stats.PerCategory[static_cast<int>(Cand.Rule->category())];
+      Progress = true;
+    }
+  }
+
+  G.verify();
+  Stats.FlopsAfter = G.totalFlops();
+  Stats.LayersAfter = G.countLayers();
+  return Stats;
+}

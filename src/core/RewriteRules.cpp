@@ -1,0 +1,814 @@
+//===- core/RewriteRules.cpp - Mathematical-property rewrite rules -------------===//
+//
+// Rule families (paper Table 4):
+//   Associative  — re-associate operator chains into cheaper orders
+//                  (Recip/Sqrt/Abs/ReduceSum pair rules, Exp/Log algebra).
+//   Distributive — factor common subexpressions out of Add/Sub of products.
+//   Commutative  — commute reductions past cheap elementwise operators so
+//                  the elementwise work runs on the reduced tensor, plus
+//                  inverse-pair and idempotence cancellations.
+//   Canonicalization — zero-FLOP normalizations (Pow(x,2)->Square, x*1->x,
+//                  Transpose/Reshape composition) that enable the above.
+//   Folding      — fold BatchNorm/scales into convolution weights.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RewriteRules.h"
+
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace dnnfusion;
+
+const char *dnnfusion::ruleCategoryName(RuleCategory C) {
+  switch (C) {
+  case RuleCategory::Associative:
+    return "associative";
+  case RuleCategory::Distributive:
+    return "distributive";
+  case RuleCategory::Commutative:
+    return "commutative";
+  case RuleCategory::Canonicalization:
+    return "canonicalization";
+  case RuleCategory::Folding:
+    return "folding";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Convenience view over the graph for matchers.
+struct Ctx {
+  const Graph &G;
+  const std::vector<std::vector<NodeId>> &Uses;
+
+  const Node &node(NodeId N) const { return G.node(N); }
+  bool is(NodeId N, OpKind K) const { return node(N).Kind == K; }
+  bool oneUse(NodeId N) const {
+    return Uses[static_cast<size_t>(N)].size() == 1;
+  }
+  size_t numUses(NodeId N) const { return Uses[static_cast<size_t>(N)].size(); }
+  NodeId in(NodeId N, int I) const {
+    return node(N).Inputs[static_cast<size_t>(I)];
+  }
+  int64_t elems(NodeId N) const { return node(N).OutShape.numElements(); }
+  int64_t flops(NodeId N) const {
+    const Node &Nd = node(N);
+    if (Nd.Kind == OpKind::Input || Nd.Kind == OpKind::Constant)
+      return 0;
+    return flopCount(Nd.Kind, Nd.Attrs, G.inputShapes(N), Nd.OutShape);
+  }
+  bool scalarConst(NodeId N, float &V) const {
+    const Node &Nd = node(N);
+    if (Nd.Kind != OpKind::Constant || Nd.OutShape.numElements() != 1)
+      return false;
+    V = Nd.ConstValue.at(0);
+    return true;
+  }
+  bool isConst(NodeId N) const { return node(N).Kind == OpKind::Constant; }
+};
+
+using RuleFn =
+    std::function<std::optional<RuleApplication>(const Ctx &, NodeId)>;
+
+void addRule(std::vector<RewriteRule> &Rules, const char *Name,
+             RuleCategory Cat, int Prio, RuleFn Fn) {
+  Rules.emplace_back(
+      Name, Cat, Prio,
+      [Fn = std::move(Fn)](const Graph &G, NodeId Root,
+                           const std::vector<std::vector<NodeId>> &Uses)
+          -> std::optional<RuleApplication> {
+        const Node &N = G.node(Root);
+        if (N.Dead || N.Kind == OpKind::Input || N.Kind == OpKind::Constant)
+          return std::nullopt;
+        Ctx C{G, Uses};
+        return Fn(C, Root);
+      });
+}
+
+/// Tries \p Fn on (a, b) and, for commutative \p Bin, on (b, a).
+template <typename F> bool eachOperandOrder(const Ctx &C, NodeId Bin, F Fn) {
+  NodeId A = C.in(Bin, 0), B = C.in(Bin, 1);
+  if (Fn(A, B))
+    return true;
+  return isCommutativeOp(C.node(Bin).Kind) && A != B && Fn(B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule family builders
+//===----------------------------------------------------------------------===//
+
+/// Outer(Inner(A)) -> A  (e.g. Log(Exp(A)), Recip(Recip(A))).
+void addCancelRule(std::vector<RewriteRule> &Rules, const char *Name,
+                   RuleCategory Cat, OpKind Outer, OpKind Inner) {
+  addRule(Rules, Name, Cat, 2, [Outer, Inner](const Ctx &C, NodeId Root)
+              -> std::optional<RuleApplication> {
+    if (!C.is(Root, Outer))
+      return std::nullopt;
+    NodeId Mid = C.in(Root, 0);
+    if (!C.is(Mid, Inner))
+      return std::nullopt;
+    NodeId A = C.in(Mid, 0);
+    int64_t Saved = C.flops(Root) + (C.oneUse(Mid) ? C.flops(Mid) : 0);
+    return RuleApplication{Root, Saved, [A](Graph &) { return A; }};
+  });
+}
+
+/// Outer(Inner(A)) -> New(A)  (e.g. Sqrt(Square(A)) -> Abs(A)).
+void addPairToUnaryRule(std::vector<RewriteRule> &Rules, const char *Name,
+                        RuleCategory Cat, OpKind Outer, OpKind Inner,
+                        OpKind New) {
+  addRule(Rules, Name, Cat, 2, [Outer, Inner, New](const Ctx &C, NodeId Root)
+              -> std::optional<RuleApplication> {
+    if (!C.is(Root, Outer))
+      return std::nullopt;
+    NodeId Mid = C.in(Root, 0);
+    if (!C.is(Mid, Inner) || !C.oneUse(Mid))
+      return std::nullopt;
+    NodeId A = C.in(Mid, 0);
+    int64_t Saved = C.flops(Root) + C.flops(Mid) - C.elems(Root);
+    return RuleApplication{
+        Root, Saved, [A, New](Graph &G) { return G.addOp(New, {A}); }};
+  });
+}
+
+/// F(F(A)) -> F(A) for idempotent F.
+void addIdempotentRule(std::vector<RewriteRule> &Rules, const char *Name,
+                       OpKind K) {
+  addRule(Rules, Name, RuleCategory::Commutative, 2,
+          [K](const Ctx &C, NodeId Root) -> std::optional<RuleApplication> {
+            if (!C.is(Root, K))
+              return std::nullopt;
+            NodeId Mid = C.in(Root, 0);
+            if (!C.is(Mid, K))
+              return std::nullopt;
+            return RuleApplication{Root, C.flops(Root),
+                                   [Mid](Graph &) { return Mid; }};
+          });
+}
+
+/// Reduce(Elt(A [, scalar c])) -> Elt(Reduce(A) [, c]) — run the cheap
+/// elementwise operator on the reduced tensor instead (Table 4 commutative
+/// family: ReduceSum(BitShift(A)) -> BitShift(ReduceSum(A)) etc.).
+/// \p RequirePositive gates rules that are only valid for positive scalars
+/// (ReduceMax/Mul).
+void addReduceCommuteRule(std::vector<RewriteRule> &Rules, const char *Name,
+                          OpKind Reduce, OpKind Elt, bool ScalarOperand,
+                          bool RequirePositive = false) {
+  addRule(Rules, Name, RuleCategory::Commutative, 2,
+          [Reduce, Elt, ScalarOperand, RequirePositive](
+              const Ctx &C, NodeId Root) -> std::optional<RuleApplication> {
+            if (!C.is(Root, Reduce))
+              return std::nullopt;
+            NodeId Mid = C.in(Root, 0);
+            if (!C.is(Mid, Elt) || !C.oneUse(Mid))
+              return std::nullopt;
+            NodeId A = InvalidNodeId, Scal = InvalidNodeId;
+            if (ScalarOperand) {
+              float V;
+              bool Found = eachOperandOrder(C, Mid, [&](NodeId X, NodeId S) {
+                float Sv;
+                if (!C.scalarConst(S, Sv))
+                  return false;
+                if (RequirePositive && Sv <= 0.0f)
+                  return false;
+                // Non-commutative Sub/Div only commute with the scalar on
+                // the right-hand side.
+                A = X;
+                Scal = S;
+                V = Sv;
+                return true;
+              });
+              (void)V;
+              if (!Found)
+                return std::nullopt;
+              // The non-scalar operand must carry the full pre-reduction
+              // shape or the reduction axes would change meaning.
+              if (!(C.node(A).OutShape == C.node(Mid).OutShape))
+                return std::nullopt;
+            } else {
+              A = C.in(Mid, 0);
+            }
+            AttrMap ReduceAttrs = C.node(Root).Attrs;
+            AttrMap EltAttrs = C.node(Mid).Attrs;
+            int64_t Saved = C.flops(Mid) - C.elems(Root);
+            OpKind EltK = Elt, ReduceK = Reduce;
+            return RuleApplication{
+                Root, Saved,
+                [A, Scal, ReduceAttrs, EltAttrs, EltK, ReduceK](Graph &G) {
+                  NodeId R = G.addOp(ReduceK, {A}, ReduceAttrs);
+                  std::vector<NodeId> Ins = {R};
+                  if (Scal != InvalidNodeId)
+                    Ins.push_back(Scal);
+                  return G.addOp(EltK, std::move(Ins), EltAttrs);
+                }};
+          });
+}
+
+/// Pow(A, const c) -> cheaper unary.
+void addPowRule(std::vector<RewriteRule> &Rules, const char *Name, float Expo,
+                std::optional<OpKind> New) {
+  addRule(Rules, Name, RuleCategory::Canonicalization, 1,
+          [Expo, New](const Ctx &C, NodeId Root)
+              -> std::optional<RuleApplication> {
+            if (!C.is(Root, OpKind::Pow))
+              return std::nullopt;
+            float V;
+            if (!C.scalarConst(C.in(Root, 1), V) || V != Expo)
+              return std::nullopt;
+            NodeId A = C.in(Root, 0);
+            if (!(C.node(A).OutShape == C.node(Root).OutShape))
+              return std::nullopt;
+            if (!New)
+              return RuleApplication{Root, C.flops(Root),
+                                     [A](Graph &) { return A; }};
+            OpKind K = *New;
+            return RuleApplication{Root, 0,
+                                   [A, K](Graph &G) { return G.addOp(K, {A}); }};
+          });
+}
+
+/// Binary(A, identity-scalar) -> A  (x*1, x+0, x-0, x/1).
+void addIdentityOperandRule(std::vector<RewriteRule> &Rules, const char *Name,
+                            OpKind K, float Identity) {
+  addRule(Rules, Name, RuleCategory::Canonicalization, 1,
+          [K, Identity](const Ctx &C, NodeId Root)
+              -> std::optional<RuleApplication> {
+            if (!C.is(Root, K))
+              return std::nullopt;
+            NodeId Kept = InvalidNodeId;
+            bool Found = eachOperandOrder(C, Root, [&](NodeId A, NodeId S) {
+              float V;
+              if (!C.scalarConst(S, V) || V != Identity)
+                return false;
+              Kept = A;
+              return true;
+            });
+            if (!Found || !(C.node(Kept).OutShape == C.node(Root).OutShape))
+              return std::nullopt;
+            NodeId A = Kept;
+            return RuleApplication{Root, C.flops(Root),
+                                   [A](Graph &) { return A; }};
+          });
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4 flagship rules
+//===----------------------------------------------------------------------===//
+
+/// Recip(A) ⊙ Recip(A ⊙ B) -> Square(Recip(A)) ⊙ Recip(B).
+std::optional<RuleApplication> matchRecipMul(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Mul))
+    return std::nullopt;
+  NodeId Ops[2] = {C.in(Root, 0), C.in(Root, 1)};
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    NodeId R1 = Ops[Swap], R2 = Ops[1 - Swap];
+    if (!C.is(R1, OpKind::Reciprocal) || !C.is(R2, OpKind::Reciprocal))
+      continue;
+    if (!C.oneUse(R2))
+      continue;
+    NodeId M = C.in(R2, 0);
+    if (!C.is(M, OpKind::Mul) || !C.oneUse(M))
+      continue;
+    NodeId A = C.in(R1, 0);
+    NodeId B = InvalidNodeId;
+    if (C.in(M, 0) == A)
+      B = C.in(M, 1);
+    else if (C.in(M, 1) == A)
+      B = C.in(M, 0);
+    else
+      continue;
+    int64_t Saved = C.flops(R2) + C.flops(M) -
+                    (C.elems(R1) /*Square*/ + C.elems(B) /*Recip*/);
+    if (Saved < 0)
+      Saved = 0;
+    return RuleApplication{Root, Saved, [R1, B](Graph &G) {
+                             NodeId Sq = G.addOp(OpKind::Square, {R1});
+                             NodeId Rb = G.addOp(OpKind::Reciprocal, {B});
+                             return G.addOp(OpKind::Mul, {Sq, Rb});
+                           }};
+  }
+  return std::nullopt;
+}
+
+/// Shared-factor pair rules over Mul(Mul(A, S), Mul(S, C)):
+///   S = Sqrt(B), used exactly by the two inner Muls -> Mul(Mul(A, B), C)
+///   S = ReduceSum(B)                               -> Mul(Mul(A, Square(S)), C)
+std::optional<RuleApplication> matchSharedFactorPair(const Ctx &C, NodeId Root,
+                                                     OpKind SharedKind) {
+  if (!C.is(Root, OpKind::Mul))
+    return std::nullopt;
+  NodeId M1 = C.in(Root, 0), M2 = C.in(Root, 1);
+  if (M1 == M2 || !C.is(M1, OpKind::Mul) || !C.is(M2, OpKind::Mul) ||
+      !C.oneUse(M1) || !C.oneUse(M2))
+    return std::nullopt;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J) {
+      NodeId S = C.in(M1, I);
+      if (S != C.in(M2, J) || !C.is(S, SharedKind))
+        continue;
+      if (C.numUses(S) != 2)
+        continue;
+      NodeId A = C.in(M1, 1 - I);
+      NodeId Cc = C.in(M2, 1 - J);
+      if (SharedKind == OpKind::Sqrt) {
+        NodeId B = C.in(S, 0);
+        int64_t Saved = C.flops(S) + C.elems(Root); // One Mul + the Sqrt die.
+        return RuleApplication{Root, Saved, [A, B, Cc](Graph &G) {
+                                 NodeId AB = G.addOp(OpKind::Mul, {A, B});
+                                 return G.addOp(OpKind::Mul, {AB, Cc});
+                               }};
+      }
+      // ReduceSum: keep S, square it once (small), drop one big Mul.
+      int64_t Saved = C.elems(Root) - C.elems(S);
+      if (Saved < 0)
+        Saved = 0;
+      return RuleApplication{Root, Saved, [A, S, Cc](Graph &G) {
+                               NodeId Sq = G.addOp(OpKind::Square, {S});
+                               NodeId ASq = G.addOp(OpKind::Mul, {A, Sq});
+                               return G.addOp(OpKind::Mul, {ASq, Cc});
+                             }};
+    }
+  return std::nullopt;
+}
+
+/// Abs(A) ⊙ B ⊙ Abs(C) -> Abs(A ⊙ C) ⊙ B  (associative after a commute).
+std::optional<RuleApplication> matchAbsPair(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Mul))
+    return std::nullopt;
+  NodeId Ops[2] = {C.in(Root, 0), C.in(Root, 1)};
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    NodeId M1 = Ops[Swap], AbsC = Ops[1 - Swap];
+    if (!C.is(M1, OpKind::Mul) || !C.is(AbsC, OpKind::Abs) || !C.oneUse(M1) ||
+        !C.oneUse(AbsC))
+      continue;
+    for (int I = 0; I < 2; ++I) {
+      NodeId AbsA = C.in(M1, I);
+      NodeId B = C.in(M1, 1 - I);
+      if (!C.is(AbsA, OpKind::Abs) || !C.oneUse(AbsA))
+        continue;
+      NodeId A = C.in(AbsA, 0);
+      NodeId Cv = C.in(AbsC, 0);
+      int64_t Saved = C.flops(AbsA) + C.flops(AbsC) - C.elems(Root);
+      if (Saved < 0)
+        Saved = 0;
+      return RuleApplication{Root, Saved, [A, B, Cv](Graph &G) {
+                               NodeId AC = G.addOp(OpKind::Mul, {A, Cv});
+                               NodeId Ab = G.addOp(OpKind::Abs, {AC});
+                               return G.addOp(OpKind::Mul, {Ab, B});
+                             }};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Exp(A) ⊙ Exp(B) -> Exp(A + B)  /  Log(A) ± Log(B) -> Log(A ⊙/÷ B).
+std::optional<RuleApplication> matchExpLogAlgebra(const Ctx &C, NodeId Root,
+                                                  OpKind Outer, OpKind Inner,
+                                                  OpKind NewInner) {
+  if (!C.is(Root, Outer))
+    return std::nullopt;
+  NodeId L = C.in(Root, 0), R = C.in(Root, 1);
+  if (!C.is(L, Inner) || !C.is(R, Inner) || !C.oneUse(L) || !C.oneUse(R) ||
+      L == R)
+    return std::nullopt;
+  NodeId A = C.in(L, 0), B = C.in(R, 0);
+  int64_t Saved = C.elems(Root);
+  OpKind InnerK = Inner == OpKind::Exp ? OpKind::Exp : OpKind::Log;
+  return RuleApplication{Root, Saved, [A, B, NewInner, InnerK](Graph &G) {
+                           NodeId Comb = G.addOp(NewInner, {A, B});
+                           return G.addOp(InnerK, {Comb});
+                         }};
+}
+
+/// Add/Sub(Mul(X,Y), Mul(X,Z)) -> Mul(X, Add/Sub(Y,Z)) (distributive).
+std::optional<RuleApplication> matchFactorCommon(const Ctx &C, NodeId Root) {
+  OpKind K = C.node(Root).Kind;
+  if (K != OpKind::Add && K != OpKind::Sub)
+    return std::nullopt;
+  NodeId M1 = C.in(Root, 0), M2 = C.in(Root, 1);
+  if (M1 == M2 || !C.is(M1, OpKind::Mul) || !C.is(M2, OpKind::Mul) ||
+      !C.oneUse(M1) || !C.oneUse(M2))
+    return std::nullopt;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J) {
+      NodeId X = C.in(M1, I);
+      if (X != C.in(M2, J))
+        continue;
+      NodeId Y = C.in(M1, 1 - I), Z = C.in(M2, 1 - J);
+      int64_t Saved = C.elems(Root);
+      return RuleApplication{Root, Saved, [X, Y, Z, K](Graph &G) {
+                               NodeId Comb = G.addOp(K, {Y, Z});
+                               return G.addOp(OpKind::Mul, {X, Comb});
+                             }};
+    }
+  return std::nullopt;
+}
+
+/// Add/Sub(Div(A,C), Div(B,C)) -> Div(Add/Sub(A,B), C).
+std::optional<RuleApplication> matchDivCommon(const Ctx &C, NodeId Root) {
+  OpKind K = C.node(Root).Kind;
+  if (K != OpKind::Add && K != OpKind::Sub)
+    return std::nullopt;
+  NodeId D1 = C.in(Root, 0), D2 = C.in(Root, 1);
+  if (D1 == D2 || !C.is(D1, OpKind::Div) || !C.is(D2, OpKind::Div) ||
+      !C.oneUse(D1) || !C.oneUse(D2))
+    return std::nullopt;
+  if (C.in(D1, 1) != C.in(D2, 1))
+    return std::nullopt;
+  NodeId A = C.in(D1, 0), B = C.in(D2, 0), Den = C.in(D1, 1);
+  return RuleApplication{Root, C.elems(Root), [A, B, Den, K](Graph &G) {
+                           NodeId Comb = G.addOp(K, {A, B});
+                           return G.addOp(OpKind::Div, {Comb, Den});
+                         }};
+}
+
+/// A + A ⊙ B -> A ⊙ (B + 1) (distributive; paper Table 4 row 6).
+std::optional<RuleApplication> matchAddSelfMul(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Add))
+    return std::nullopt;
+  NodeId Ops[2] = {C.in(Root, 0), C.in(Root, 1)};
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    NodeId A = Ops[Swap], M = Ops[1 - Swap];
+    if (!C.is(M, OpKind::Mul) || !C.oneUse(M))
+      continue;
+    NodeId B = InvalidNodeId;
+    if (C.in(M, 0) == A)
+      B = C.in(M, 1);
+    else if (C.in(M, 1) == A)
+      B = C.in(M, 0);
+    else
+      continue;
+    return RuleApplication{Root, 0, [A, B](Graph &G) {
+                             NodeId One =
+                                 G.addConstant(Tensor::full(Shape({1}), 1.0f));
+                             NodeId B1 = G.addOp(OpKind::Add, {B, One});
+                             return G.addOp(OpKind::Mul, {A, B1});
+                           }};
+  }
+  return std::nullopt;
+}
+
+/// Square(A+B) - (A+B) ⊙ C -> (A+B) ⊙ (A+B-C) (distributive, Table 4 row 7).
+std::optional<RuleApplication> matchSquareSub(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Sub))
+    return std::nullopt;
+  NodeId Sq = C.in(Root, 0), M = C.in(Root, 1);
+  if (!C.is(Sq, OpKind::Square) || !C.is(M, OpKind::Mul) || !C.oneUse(Sq) ||
+      !C.oneUse(M))
+    return std::nullopt;
+  NodeId S = C.in(Sq, 0);
+  NodeId Other = InvalidNodeId;
+  if (C.in(M, 0) == S)
+    Other = C.in(M, 1);
+  else if (C.in(M, 1) == S)
+    Other = C.in(M, 0);
+  else
+    return std::nullopt;
+  return RuleApplication{Root, C.elems(Root), [S, Other](Graph &G) {
+                           NodeId Diff = G.addOp(OpKind::Sub, {S, Other});
+                           return G.addOp(OpKind::Mul, {S, Diff});
+                         }};
+}
+
+/// A ⊙ A -> Square(A): halves loads and unlocks Square/Sqrt cancellation.
+std::optional<RuleApplication> matchMulSelf(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Mul) || C.in(Root, 0) != C.in(Root, 1))
+    return std::nullopt;
+  NodeId A = C.in(Root, 0);
+  return RuleApplication{Root, 0,
+                         [A](Graph &G) { return G.addOp(OpKind::Square, {A}); }};
+}
+
+//===----------------------------------------------------------------------===//
+// Data-movement canonicalization
+//===----------------------------------------------------------------------===//
+
+std::optional<RuleApplication> matchTransposePair(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Transpose))
+    return std::nullopt;
+  NodeId Mid = C.in(Root, 0);
+  if (!C.is(Mid, OpKind::Transpose) || !C.oneUse(Mid))
+    return std::nullopt;
+  NodeId A = C.in(Mid, 0);
+  std::vector<int64_t> P1 = C.node(Mid).Attrs.requireInts("perm");
+  std::vector<int64_t> P2 = C.node(Root).Attrs.requireInts("perm");
+  std::vector<int64_t> Combined(P2.size());
+  bool IsIdentity = true;
+  for (size_t I = 0; I < P2.size(); ++I) {
+    Combined[I] = P1[static_cast<size_t>(P2[I])];
+    IsIdentity = IsIdentity && Combined[I] == static_cast<int64_t>(I);
+  }
+  if (IsIdentity)
+    return RuleApplication{Root, 0, [A](Graph &) { return A; }};
+  return RuleApplication{Root, 0, [A, Combined](Graph &G) {
+                           return G.addOp(OpKind::Transpose, {A},
+                                          AttrMap().set("perm", Combined));
+                         }};
+}
+
+std::optional<RuleApplication> matchTransposeIdentity(const Ctx &C,
+                                                      NodeId Root) {
+  if (!C.is(Root, OpKind::Transpose))
+    return std::nullopt;
+  const std::vector<int64_t> &Perm = C.node(Root).Attrs.requireInts("perm");
+  for (size_t I = 0; I < Perm.size(); ++I)
+    if (Perm[I] != static_cast<int64_t>(I))
+      return std::nullopt;
+  NodeId A = C.in(Root, 0);
+  return RuleApplication{Root, 0, [A](Graph &) { return A; }};
+}
+
+bool isReorganizeKind(OpKind K) {
+  return K == OpKind::Reshape || K == OpKind::Flatten || K == OpKind::Squeeze ||
+         K == OpKind::Unsqueeze;
+}
+
+std::optional<RuleApplication> matchReorganizePair(const Ctx &C, NodeId Root) {
+  if (!isReorganizeKind(C.node(Root).Kind))
+    return std::nullopt;
+  NodeId Mid = C.in(Root, 0);
+  if (!isReorganizeKind(C.node(Mid).Kind) || !C.oneUse(Mid))
+    return std::nullopt;
+  NodeId A = C.in(Mid, 0);
+  std::vector<int64_t> Target = C.node(Root).OutShape.dims();
+  return RuleApplication{Root, 0, [A, Target](Graph &G) {
+                           return G.addOp(OpKind::Reshape, {A},
+                                          AttrMap().set("shape", Target));
+                         }};
+}
+
+std::optional<RuleApplication> matchReorganizeNoop(const Ctx &C, NodeId Root) {
+  OpKind K = C.node(Root).Kind;
+  if (!isReorganizeKind(K) && K != OpKind::Slice)
+    return std::nullopt;
+  NodeId A = C.in(Root, 0);
+  if (!(C.node(A).OutShape == C.node(Root).OutShape))
+    return std::nullopt;
+  // A Reshape to the identical shape (or a Slice covering everything) is a
+  // pure copy.
+  return RuleApplication{Root, 0, [A](Graph &) { return A; }};
+}
+
+std::optional<RuleApplication> matchConcatSingle(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Concat) || C.node(Root).Inputs.size() != 1)
+    return std::nullopt;
+  NodeId A = C.in(Root, 0);
+  return RuleApplication{Root, 0, [A](Graph &) { return A; }};
+}
+
+std::optional<RuleApplication> matchIdentityElim(const Ctx &C, NodeId Root) {
+  if (!C.is(Root, OpKind::Identity))
+    return std::nullopt;
+  NodeId A = C.in(Root, 0);
+  return RuleApplication{Root, 0, [A](Graph &) { return A; }};
+}
+
+//===----------------------------------------------------------------------===//
+// Folding into convolution weights
+//===----------------------------------------------------------------------===//
+
+std::optional<RuleApplication> matchConvBatchNormFold(const Ctx &C,
+                                                      NodeId Root) {
+  if (!C.is(Root, OpKind::BatchNormalization))
+    return std::nullopt;
+  NodeId ConvId = C.in(Root, 0);
+  if (!C.is(ConvId, OpKind::Conv) || !C.oneUse(ConvId))
+    return std::nullopt;
+  const Node &Conv = C.node(ConvId);
+  // Every parameter and the conv weights must be compile-time constants.
+  for (size_t I = 1; I < 5; ++I)
+    if (!C.isConst(C.in(Root, static_cast<int>(I))))
+      return std::nullopt;
+  if (!C.isConst(Conv.Inputs[1]))
+    return std::nullopt;
+  if (Conv.Inputs.size() == 3 && !C.isConst(Conv.Inputs[2]))
+    return std::nullopt;
+
+  NodeId RootId = Root;
+  int64_t Saved = C.flops(Root);
+  return RuleApplication{
+      Root, Saved, [RootId, ConvId](Graph &G) {
+        // Copy everything out of the graph first: adding nodes below may
+        // reallocate the node table. Tensor copies share storage (cheap)
+        // and keep it alive.
+        std::vector<NodeId> BnInputs = G.node(RootId).Inputs;
+        std::vector<NodeId> ConvInputs = G.node(ConvId).Inputs;
+        AttrMap ConvAttrs = G.node(ConvId).Attrs;
+        Tensor W = G.node(ConvInputs[1]).ConstValue;
+        Tensor OldBias =
+            ConvInputs.size() == 3 ? G.node(ConvInputs[2]).ConstValue : Tensor();
+        Tensor Scale = G.node(BnInputs[1]).ConstValue;
+        Tensor Shift = G.node(BnInputs[2]).ConstValue;
+        Tensor Mean = G.node(BnInputs[3]).ConstValue;
+        Tensor Var = G.node(BnInputs[4]).ConstValue;
+        float Eps =
+            static_cast<float>(G.node(RootId).Attrs.getFloat("epsilon", 1e-5));
+
+        int64_t F = W.shape().dim(0);
+        int64_t PerFilter = W.numElements() / F;
+        Tensor NewW(W.shape());
+        Tensor NewB(Shape({F}));
+        for (int64_t Fi = 0; Fi < F; ++Fi) {
+          float Inv = Scale.at(Fi) / std::sqrt(Var.at(Fi) + Eps);
+          for (int64_t I = 0; I < PerFilter; ++I)
+            NewW.at(Fi * PerFilter + I) = W.at(Fi * PerFilter + I) * Inv;
+          float B = OldBias.isNull() ? 0.0f : OldBias.at(Fi);
+          NewB.at(Fi) = (B - Mean.at(Fi)) * Inv + Shift.at(Fi);
+        }
+        NodeId WId = G.addConstant(std::move(NewW));
+        NodeId BId = G.addConstant(std::move(NewB));
+        return G.addOp(OpKind::Conv, {ConvInputs[0], WId, BId}, ConvAttrs);
+      }};
+}
+
+std::optional<RuleApplication> matchMulScalarIntoConv(const Ctx &C,
+                                                      NodeId Root) {
+  if (!C.is(Root, OpKind::Mul))
+    return std::nullopt;
+  NodeId Ops[2] = {C.in(Root, 0), C.in(Root, 1)};
+  for (int Swap = 0; Swap < 2; ++Swap) {
+    NodeId ConvId = Ops[Swap], ScalId = Ops[1 - Swap];
+    float Sc;
+    if (!C.is(ConvId, OpKind::Conv) || !C.oneUse(ConvId) ||
+        !C.scalarConst(ScalId, Sc))
+      continue;
+    const Node &Conv = C.node(ConvId);
+    if (!C.isConst(Conv.Inputs[1]))
+      continue;
+    if (Conv.Inputs.size() == 3 && !C.isConst(Conv.Inputs[2]))
+      continue;
+    return RuleApplication{
+        Root, C.flops(Root), [ConvId, Sc](Graph &G) {
+          // Copy out before mutating: addConstant may reallocate nodes.
+          std::vector<NodeId> ConvInputs = G.node(ConvId).Inputs;
+          AttrMap ConvAttrs = G.node(ConvId).Attrs;
+          Tensor W = G.node(ConvInputs[1]).ConstValue;
+          Tensor NewW(W.shape());
+          for (int64_t I = 0, E = W.numElements(); I < E; ++I)
+            NewW.at(I) = W.at(I) * Sc;
+          std::vector<NodeId> Ins = {ConvInputs[0],
+                                     G.addConstant(std::move(NewW))};
+          if (ConvInputs.size() == 3) {
+            Tensor B = G.node(ConvInputs[2]).ConstValue;
+            Tensor NewB(B.shape());
+            for (int64_t I = 0, E = B.numElements(); I < E; ++I)
+              NewB.at(I) = B.at(I) * Sc;
+            Ins.push_back(G.addConstant(std::move(NewB)));
+          }
+          return G.addOp(OpKind::Conv, std::move(Ins), ConvAttrs);
+        }};
+  }
+  return std::nullopt;
+}
+
+std::vector<RewriteRule> buildRegistry() {
+  std::vector<RewriteRule> R;
+
+  // --- Associative (Table 4 rows 1-4, Exp/Log re-association) -------------
+  addRule(R, "assoc.recip-mul", RuleCategory::Associative, 2, matchRecipMul);
+  addRule(R, "assoc.sqrt-pair", RuleCategory::Associative, 2,
+          [](const Ctx &C, NodeId N) {
+            return matchSharedFactorPair(C, N, OpKind::Sqrt);
+          });
+  addRule(R, "assoc.reducesum-pair", RuleCategory::Associative, 2,
+          [](const Ctx &C, NodeId N) {
+            return matchSharedFactorPair(C, N, OpKind::ReduceSum);
+          });
+  addRule(R, "assoc.abs-pair", RuleCategory::Associative, 2, matchAbsPair);
+  addRule(R, "assoc.exp-mul", RuleCategory::Associative, 2,
+          [](const Ctx &C, NodeId N) {
+            return matchExpLogAlgebra(C, N, OpKind::Mul, OpKind::Exp,
+                                      OpKind::Add);
+          });
+  addRule(R, "assoc.log-add", RuleCategory::Associative, 2,
+          [](const Ctx &C, NodeId N) {
+            return matchExpLogAlgebra(C, N, OpKind::Add, OpKind::Log,
+                                      OpKind::Mul);
+          });
+  addRule(R, "assoc.log-sub", RuleCategory::Associative, 2,
+          [](const Ctx &C, NodeId N) {
+            return matchExpLogAlgebra(C, N, OpKind::Sub, OpKind::Log,
+                                      OpKind::Div);
+          });
+  addRule(R, "assoc.mul-self", RuleCategory::Associative, 1, matchMulSelf);
+
+  // --- Distributive (Table 4 rows 5-7) --------------------------------------
+  addRule(R, "dist.factor-common", RuleCategory::Distributive, 2,
+          matchFactorCommon);
+  addRule(R, "dist.div-common", RuleCategory::Distributive, 2, matchDivCommon);
+  addRule(R, "dist.add-self-mul", RuleCategory::Distributive, 1,
+          matchAddSelfMul);
+  addRule(R, "dist.square-sub", RuleCategory::Distributive, 2, matchSquareSub);
+
+  // --- Commutative: reductions past cheap elementwise (Table 4 rows 9-10) --
+  addReduceCommuteRule(R, "comm.reducesum-bitshift", OpKind::ReduceSum,
+                       OpKind::BitShift, /*ScalarOperand=*/false);
+  addRule(R, "comm.reduceprod-exp", RuleCategory::Commutative, 2,
+          [](const Ctx &C, NodeId Root) -> std::optional<RuleApplication> {
+            if (!C.is(Root, OpKind::ReduceProd))
+              return std::nullopt;
+            NodeId Mid = C.in(Root, 0);
+            if (!C.is(Mid, OpKind::Exp) || !C.oneUse(Mid))
+              return std::nullopt;
+            NodeId A = C.in(Mid, 0);
+            AttrMap Attrs = C.node(Root).Attrs;
+            int64_t Saved = C.flops(Mid) - C.elems(Root);
+            return RuleApplication{
+                Root, Saved, [A, Attrs](Graph &G) {
+                  NodeId RS = G.addOp(OpKind::ReduceSum, {A}, Attrs);
+                  return G.addOp(OpKind::Exp, {RS});
+                }};
+          });
+  addReduceCommuteRule(R, "comm.reducesum-neg", OpKind::ReduceSum, OpKind::Neg,
+                       false);
+  addReduceCommuteRule(R, "comm.reducemean-neg", OpKind::ReduceMean,
+                       OpKind::Neg, false);
+  addReduceCommuteRule(R, "comm.reducesum-mul-scalar", OpKind::ReduceSum,
+                       OpKind::Mul, true);
+  addReduceCommuteRule(R, "comm.reducesum-div-scalar", OpKind::ReduceSum,
+                       OpKind::Div, true);
+  addReduceCommuteRule(R, "comm.reducemean-mul-scalar", OpKind::ReduceMean,
+                       OpKind::Mul, true);
+  addReduceCommuteRule(R, "comm.reducemean-add-scalar", OpKind::ReduceMean,
+                       OpKind::Add, true);
+  addReduceCommuteRule(R, "comm.reducemean-sub-scalar", OpKind::ReduceMean,
+                       OpKind::Sub, true);
+  addReduceCommuteRule(R, "comm.reducemax-mul-scalar", OpKind::ReduceMax,
+                       OpKind::Mul, true, /*RequirePositive=*/true);
+  addReduceCommuteRule(R, "comm.reducemin-mul-scalar", OpKind::ReduceMin,
+                       OpKind::Mul, true, /*RequirePositive=*/true);
+
+  // --- Commutative: inverse pairs and idempotence ---------------------------
+  addCancelRule(R, "comm.log-exp", RuleCategory::Commutative, OpKind::Log,
+                OpKind::Exp);
+  addCancelRule(R, "comm.exp-log", RuleCategory::Commutative, OpKind::Exp,
+                OpKind::Log);
+  addCancelRule(R, "comm.recip-recip", RuleCategory::Commutative,
+                OpKind::Reciprocal, OpKind::Reciprocal);
+  addCancelRule(R, "comm.neg-neg", RuleCategory::Commutative, OpKind::Neg,
+                OpKind::Neg);
+  addCancelRule(R, "comm.square-sqrt", RuleCategory::Commutative,
+                OpKind::Square, OpKind::Sqrt);
+  addPairToUnaryRule(R, "comm.sqrt-square", RuleCategory::Commutative,
+                     OpKind::Sqrt, OpKind::Square, OpKind::Abs);
+  addPairToUnaryRule(R, "comm.abs-neg", RuleCategory::Commutative, OpKind::Abs,
+                     OpKind::Neg, OpKind::Abs);
+  addPairToUnaryRule(R, "comm.square-neg", RuleCategory::Commutative,
+                     OpKind::Square, OpKind::Neg, OpKind::Square);
+  addPairToUnaryRule(R, "comm.square-abs", RuleCategory::Commutative,
+                     OpKind::Square, OpKind::Abs, OpKind::Square);
+  addIdempotentRule(R, "comm.relu-relu", OpKind::Relu);
+  addIdempotentRule(R, "comm.abs-abs", OpKind::Abs);
+  addIdempotentRule(R, "comm.ceil-ceil", OpKind::Ceil);
+  addIdempotentRule(R, "comm.floor-floor", OpKind::Floor);
+  addIdempotentRule(R, "comm.round-round", OpKind::Round);
+
+  // --- Canonicalization -------------------------------------------------------
+  addPowRule(R, "canon.pow-two", 2.0f, OpKind::Square);
+  addPowRule(R, "canon.pow-half", 0.5f, OpKind::Sqrt);
+  addPowRule(R, "canon.pow-one", 1.0f, std::nullopt);
+  addPowRule(R, "canon.pow-neg-one", -1.0f, OpKind::Reciprocal);
+  addIdentityOperandRule(R, "canon.mul-one", OpKind::Mul, 1.0f);
+  addIdentityOperandRule(R, "canon.add-zero", OpKind::Add, 0.0f);
+  addIdentityOperandRule(R, "canon.sub-zero", OpKind::Sub, 0.0f);
+  addIdentityOperandRule(R, "canon.div-one", OpKind::Div, 1.0f);
+  addRule(R, "canon.identity-elim", RuleCategory::Canonicalization, 1,
+          matchIdentityElim);
+  addRule(R, "canon.transpose-pair", RuleCategory::Canonicalization, 1,
+          matchTransposePair);
+  addRule(R, "canon.transpose-identity", RuleCategory::Canonicalization, 1,
+          matchTransposeIdentity);
+  addRule(R, "canon.reorganize-pair", RuleCategory::Canonicalization, 1,
+          matchReorganizePair);
+  addRule(R, "canon.reorganize-noop", RuleCategory::Canonicalization, 1,
+          matchReorganizeNoop);
+  addRule(R, "canon.concat-single", RuleCategory::Canonicalization, 1,
+          matchConcatSingle);
+
+  // --- Folding ------------------------------------------------------------------
+  addRule(R, "fold.conv-batchnorm", RuleCategory::Folding, 3,
+          matchConvBatchNormFold);
+  addRule(R, "fold.mul-scalar-conv", RuleCategory::Folding, 3,
+          matchMulScalarIntoConv);
+
+  return R;
+}
+
+} // namespace
+
+const std::vector<RewriteRule> &dnnfusion::allRewriteRules() {
+  static const std::vector<RewriteRule> Registry = buildRegistry();
+  return Registry;
+}
+
+int dnnfusion::countRules(RuleCategory Category) {
+  int Count = 0;
+  for (const RewriteRule &Rule : allRewriteRules())
+    if (Rule.category() == Category)
+      ++Count;
+  return Count;
+}

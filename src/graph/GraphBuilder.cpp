@@ -1,0 +1,179 @@
+//===- graph/GraphBuilder.cpp - Fluent graph construction ---------------------===//
+
+#include "graph/GraphBuilder.h"
+
+#include "support/Error.h"
+#include "tensor/TensorUtils.h"
+
+#include <cmath>
+
+using namespace dnnfusion;
+
+NodeId GraphBuilder::input(Shape S, std::string Name) {
+  return G.addInput(std::move(S), std::move(Name));
+}
+
+NodeId GraphBuilder::weight(Shape S, float Scale) {
+  Tensor T(S);
+  fillRandom(T, Weights, -Scale, Scale);
+  return G.addConstant(std::move(T));
+}
+
+NodeId GraphBuilder::positiveWeight(Shape S, float Scale) {
+  Tensor T(S);
+  fillRandom(T, Weights, 0.05f, Scale);
+  return G.addConstant(std::move(T));
+}
+
+NodeId GraphBuilder::scalar(float Value) {
+  return G.addConstant(Tensor::full(Shape({1}), Value));
+}
+
+NodeId GraphBuilder::op(OpKind Kind, std::vector<NodeId> Inputs,
+                        AttrMap Attrs) {
+  return G.addOp(Kind, std::move(Inputs), std::move(Attrs));
+}
+
+NodeId GraphBuilder::conv(NodeId X, int64_t OutChannels,
+                          std::vector<int64_t> Kernel,
+                          std::vector<int64_t> Strides,
+                          std::vector<int64_t> Pads, int64_t Group,
+                          bool Bias) {
+  const Shape &InShape = G.node(X).OutShape;
+  int64_t C = InShape.dim(1);
+  DNNF_CHECK(C % Group == 0, "conv channels %lld not divisible by group %lld",
+             static_cast<long long>(C), static_cast<long long>(Group));
+  std::vector<int64_t> WDims = {OutChannels, C / Group};
+  int64_t FanIn = C / Group;
+  for (int64_t K : Kernel) {
+    WDims.push_back(K);
+    FanIn *= K;
+  }
+  float Scale = 1.0f / std::sqrt(static_cast<float>(FanIn));
+  NodeId W = weight(Shape(std::move(WDims)), Scale);
+  AttrMap Attrs;
+  if (!Strides.empty())
+    Attrs.set("strides", std::move(Strides));
+  if (!Pads.empty())
+    Attrs.set("pads", std::move(Pads));
+  if (Group != 1)
+    Attrs.set("group", Group);
+  std::vector<NodeId> Ins = {X, W};
+  if (Bias)
+    Ins.push_back(weight(Shape({OutChannels}), Scale));
+  return G.addOp(OpKind::Conv, std::move(Ins), std::move(Attrs));
+}
+
+NodeId GraphBuilder::convTranspose(NodeId X, int64_t OutChannels,
+                                   int64_t Kernel, int64_t Stride, int64_t Pad,
+                                   bool Bias) {
+  const Shape &InShape = G.node(X).OutShape;
+  int64_t C = InShape.dim(1);
+  float Scale = 1.0f / std::sqrt(static_cast<float>(C * Kernel * Kernel));
+  NodeId W = weight(Shape({C, OutChannels, Kernel, Kernel}), Scale);
+  AttrMap Attrs;
+  Attrs.set("strides", std::vector<int64_t>{Stride, Stride});
+  Attrs.set("pads", std::vector<int64_t>{Pad, Pad});
+  std::vector<NodeId> Ins = {X, W};
+  if (Bias)
+    Ins.push_back(weight(Shape({OutChannels}), Scale));
+  return G.addOp(OpKind::ConvTranspose, std::move(Ins), std::move(Attrs));
+}
+
+NodeId GraphBuilder::linear(NodeId X, int64_t OutFeatures, bool Bias) {
+  const Shape &InShape = G.node(X).OutShape;
+  int64_t InFeatures = InShape.dim(InShape.rank() - 1);
+  float Scale = 1.0f / std::sqrt(static_cast<float>(InFeatures));
+  NodeId W = weight(Shape({InFeatures, OutFeatures}), Scale);
+  NodeId Y = G.addOp(OpKind::MatMul, {X, W});
+  if (!Bias)
+    return Y;
+  NodeId B = weight(Shape({OutFeatures}), Scale);
+  return add(Y, B);
+}
+
+NodeId GraphBuilder::batchNorm(NodeId X) {
+  int64_t C = G.node(X).OutShape.dim(1);
+  NodeId Scale = positiveWeight(Shape({C}));
+  NodeId Bias = weight(Shape({C}), 0.1f);
+  NodeId Mean = weight(Shape({C}), 0.1f);
+  NodeId Var = positiveWeight(Shape({C}));
+  return G.addOp(OpKind::BatchNormalization, {X, Scale, Bias, Mean, Var},
+                 AttrMap().set("epsilon", 1e-5));
+}
+
+NodeId GraphBuilder::maxPool(NodeId X, std::vector<int64_t> Kernel,
+                             std::vector<int64_t> Strides,
+                             std::vector<int64_t> Pads) {
+  AttrMap Attrs;
+  Attrs.set("kernel", std::move(Kernel));
+  if (!Strides.empty())
+    Attrs.set("strides", std::move(Strides));
+  if (!Pads.empty())
+    Attrs.set("pads", std::move(Pads));
+  return G.addOp(OpKind::MaxPool, {X}, std::move(Attrs));
+}
+
+NodeId GraphBuilder::avgPool(NodeId X, std::vector<int64_t> Kernel,
+                             std::vector<int64_t> Strides,
+                             std::vector<int64_t> Pads) {
+  AttrMap Attrs;
+  Attrs.set("kernel", std::move(Kernel));
+  if (!Strides.empty())
+    Attrs.set("strides", std::move(Strides));
+  if (!Pads.empty())
+    Attrs.set("pads", std::move(Pads));
+  return G.addOp(OpKind::AveragePool, {X}, std::move(Attrs));
+}
+
+NodeId GraphBuilder::reshape(NodeId X, std::vector<int64_t> TargetShape) {
+  return G.addOp(OpKind::Reshape, {X},
+                 AttrMap().set("shape", std::move(TargetShape)));
+}
+
+NodeId GraphBuilder::transpose(NodeId X, std::vector<int64_t> Perm) {
+  return G.addOp(OpKind::Transpose, {X},
+                 AttrMap().set("perm", std::move(Perm)));
+}
+
+NodeId GraphBuilder::concat(std::vector<NodeId> Xs, int64_t Axis) {
+  return G.addOp(OpKind::Concat, std::move(Xs), AttrMap().set("axis", Axis));
+}
+
+NodeId GraphBuilder::softmax(NodeId X, int64_t Axis) {
+  return G.addOp(OpKind::Softmax, {X}, AttrMap().set("axis", Axis));
+}
+
+NodeId GraphBuilder::upsample2x(NodeId X) {
+  int Rank = G.node(X).OutShape.rank();
+  std::vector<int64_t> Scales(static_cast<size_t>(Rank), 1);
+  for (int D = 2; D < Rank; ++D)
+    Scales[static_cast<size_t>(D)] = 2;
+  return G.addOp(OpKind::Upsample, {X},
+                 AttrMap().set("scales", std::move(Scales)));
+}
+
+NodeId GraphBuilder::layerNormDecomposed(NodeId X, int64_t Features) {
+  // mean = ReduceMean(x, -1); d = x - mean; var = ReduceMean(d*d, -1);
+  // y = d / Sqrt(var + eps) * gamma + beta.
+  AttrMap MeanAttrs;
+  MeanAttrs.set("axes", std::vector<int64_t>{-1}).set("keepdims", 1);
+  NodeId Mean = G.addOp(OpKind::ReduceMean, {X}, MeanAttrs);
+  NodeId D = sub(X, Mean);
+  NodeId Sq = unary(OpKind::Square, D);
+  NodeId Var = G.addOp(OpKind::ReduceMean, {Sq}, MeanAttrs);
+  NodeId Eps = scalar(1e-5f);
+  NodeId Std = unary(OpKind::Sqrt, add(Var, Eps));
+  NodeId Norm = div(D, Std);
+  NodeId Gamma = positiveWeight(Shape({Features}));
+  NodeId Beta = weight(Shape({Features}), 0.1f);
+  return add(mul(Norm, Gamma), Beta);
+}
+
+NodeId GraphBuilder::geluDecomposed(NodeId X) {
+  NodeId InvSqrt2 = scalar(0.70710678f);
+  NodeId ErfV = unary(OpKind::Erf, mul(X, InvSqrt2));
+  NodeId One = scalar(1.0f);
+  NodeId Half = scalar(0.5f);
+  return mul(mul(X, Half), add(ErfV, One));
+}

@@ -1,0 +1,110 @@
+//===- graph/GraphBuilder.h - Fluent graph construction ----------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin fluent layer over Graph used by the model zoo and tests: it
+/// creates randomly-initialized weight constants on demand and wraps the
+/// common operator idioms (conv + bias, linear, normalizations decomposed
+/// into primitive operators the way mobile exporters emit them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_GRAPH_GRAPHBUILDER_H
+#define DNNFUSION_GRAPH_GRAPHBUILDER_H
+
+#include "graph/Graph.h"
+#include "support/Rng.h"
+
+namespace dnnfusion {
+
+/// Builds a Graph incrementally. Weight values are drawn from the provided
+/// seed so models are fully reproducible.
+class GraphBuilder {
+public:
+  explicit GraphBuilder(uint64_t Seed = 1) : Weights(Seed) {}
+
+  Graph &graph() { return G; }
+  const Graph &graph() const { return G; }
+
+  /// Moves the built graph out; the builder must not be reused after.
+  Graph take() { return std::move(G); }
+
+  // --- Leaves ------------------------------------------------------------
+  NodeId input(Shape S, std::string Name = "");
+  /// A weight constant with uniform values in [-Scale, Scale].
+  NodeId weight(Shape S, float Scale = 0.5f);
+  /// A weight constant with uniform positive values in [0.05, Scale].
+  NodeId positiveWeight(Shape S, float Scale = 1.0f);
+  NodeId scalar(float Value);
+
+  // --- Generic wrappers ---------------------------------------------------
+  NodeId op(OpKind Kind, std::vector<NodeId> Inputs, AttrMap Attrs = {});
+  NodeId unary(OpKind Kind, NodeId X) { return op(Kind, {X}); }
+  NodeId binary(OpKind Kind, NodeId A, NodeId B) { return op(Kind, {A, B}); }
+
+  // --- Common idioms --------------------------------------------------------
+  NodeId add(NodeId A, NodeId B) { return binary(OpKind::Add, A, B); }
+  NodeId sub(NodeId A, NodeId B) { return binary(OpKind::Sub, A, B); }
+  NodeId mul(NodeId A, NodeId B) { return binary(OpKind::Mul, A, B); }
+  NodeId div(NodeId A, NodeId B) { return binary(OpKind::Div, A, B); }
+  NodeId relu(NodeId X) { return unary(OpKind::Relu, X); }
+  NodeId sigmoid(NodeId X) { return unary(OpKind::Sigmoid, X); }
+  NodeId tanhOp(NodeId X) { return unary(OpKind::Tanh, X); }
+
+  /// Conv with freshly created weights (+ optional bias constant).
+  NodeId conv(NodeId X, int64_t OutChannels, std::vector<int64_t> Kernel,
+              std::vector<int64_t> Strides = {}, std::vector<int64_t> Pads = {},
+              int64_t Group = 1, bool Bias = true);
+
+  /// 2-D ConvTranspose with fresh weights.
+  NodeId convTranspose(NodeId X, int64_t OutChannels, int64_t Kernel,
+                       int64_t Stride, int64_t Pad = 0, bool Bias = true);
+
+  /// x @ W [+ b] with W:[In,Out]; applies to the last dimension.
+  NodeId linear(NodeId X, int64_t OutFeatures, bool Bias = true);
+
+  /// BatchNormalization with fresh per-channel parameters.
+  NodeId batchNorm(NodeId X);
+
+  NodeId maxPool(NodeId X, std::vector<int64_t> Kernel,
+                 std::vector<int64_t> Strides = {},
+                 std::vector<int64_t> Pads = {});
+  NodeId avgPool(NodeId X, std::vector<int64_t> Kernel,
+                 std::vector<int64_t> Strides = {},
+                 std::vector<int64_t> Pads = {});
+
+  NodeId reshape(NodeId X, std::vector<int64_t> TargetShape);
+  NodeId transpose(NodeId X, std::vector<int64_t> Perm);
+  NodeId concat(std::vector<NodeId> Xs, int64_t Axis);
+  NodeId softmax(NodeId X, int64_t Axis = -1);
+  NodeId upsample2x(NodeId X);
+
+  /// LayerNorm over the last axis, decomposed into ReduceMean/Sub/Mul/
+  /// ReduceMean/Add/Sqrt/Div/Mul/Add — the operator sequence the paper
+  /// observes in TinyBERT ("Sub + Pow + ReduceMean + Add + Sqrt", §6).
+  NodeId layerNormDecomposed(NodeId X, int64_t Features);
+
+  /// GELU decomposed via Erf: 0.5 * x * (1 + Erf(x / sqrt(2))).
+  NodeId geluDecomposed(NodeId X);
+
+  /// SiLU/Swish: x * sigmoid(x).
+  NodeId silu(NodeId X) { return mul(X, sigmoid(X)); }
+
+  /// Mish (YOLO-V4): x * tanh(softplus(x)).
+  NodeId mish(NodeId X) {
+    return mul(X, tanhOp(unary(OpKind::Softplus, X)));
+  }
+
+  void markOutput(NodeId Id) { G.markOutput(Id); }
+
+private:
+  Graph G;
+  Rng Weights;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_GRAPH_GRAPHBUILDER_H

@@ -1,0 +1,38 @@
+//===- models/ModelZoo.cpp - The paper's 15 evaluated models -----------------------===//
+
+#include "models/ModelZoo.h"
+
+#include "support/Error.h"
+
+using namespace dnnfusion;
+
+const std::vector<ModelZooEntry> &dnnfusion::modelZoo() {
+  static const std::vector<ModelZooEntry> Zoo = {
+      {{"EfficientNet-B0", "2D CNN", "Image classification", 309},
+       buildEfficientNetB0},
+      {{"VGG-16", "2D CNN", "Image classification", 51}, buildVgg16},
+      {{"MobileNetV1-SSD", "2D CNN", "Object detection", 202},
+       buildMobileNetV1Ssd},
+      {{"YOLO-V4", "2D CNN", "Object detection", 398}, buildYoloV4},
+      {{"C3D", "3D CNN", "Action recognition", 27}, buildC3d},
+      {{"S3D", "3D CNN", "Action recognition", 272}, buildS3d},
+      {{"U-Net", "2D CNN", "Image segmentation", 292}, buildUNet},
+      {{"Faster R-CNN", "R-CNN", "Image segmentation", 3640},
+       buildFasterRcnn},
+      {{"Mask R-CNN", "R-CNN", "Image segmentation", 3999}, buildMaskRcnn},
+      {{"TinyBERT", "Transformer", "NLP", 366}, buildTinyBert},
+      {{"DistilBERT", "Transformer", "NLP", 457}, buildDistilBert},
+      {{"ALBERT", "Transformer", "NLP", 936}, buildAlbert},
+      {{"BERT-base", "Transformer", "NLP", 976}, buildBertBase},
+      {{"MobileBERT", "Transformer", "NLP", 2387}, buildMobileBert},
+      {{"GPT-2", "Transformer", "NLP", 2533}, buildGpt2},
+  };
+  return Zoo;
+}
+
+Graph dnnfusion::buildModel(const std::string &Name) {
+  for (const ModelZooEntry &Entry : modelZoo())
+    if (Entry.Info.Name == Name)
+      return Entry.Build();
+  reportFatalErrorf("unknown model '%s'", Name.c_str());
+}

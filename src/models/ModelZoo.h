@@ -1,0 +1,69 @@
+//===- models/ModelZoo.h - The paper's 15 evaluated models ---------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic builders for the 15 DNNs of paper Table 5. Each builder
+/// reproduces the model's architecture — operator mix, connectivity
+/// patterns, normalization/activation decompositions as mobile exporters
+/// emit them — at reduced tensor dimensions (random weights; accuracy is
+/// out of scope exactly as in paper §5.1). Fusion-rate experiments depend
+/// only on the graph structure; latency experiments on the relative
+/// operator mix. Deviations from the paper's layer counts are tabulated in
+/// EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_MODELS_MODELZOO_H
+#define DNNFUSION_MODELS_MODELZOO_H
+
+#include "graph/Graph.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Table 5 metadata for one model.
+struct ModelInfo {
+  std::string Name;
+  std::string Type; ///< "2D CNN", "3D CNN", "R-CNN", "Transformer".
+  std::string Task;
+  int64_t PaperTotalLayers; ///< Layer count reported in paper Table 5.
+};
+
+/// One zoo entry.
+struct ModelZooEntry {
+  ModelInfo Info;
+  std::function<Graph()> Build;
+};
+
+/// All 15 models in Table 5 order.
+const std::vector<ModelZooEntry> &modelZoo();
+
+/// Builds a model by its Table 5 name; aborts on unknown names.
+Graph buildModel(const std::string &Name);
+
+// Individual builders (deterministic; weights derive from the seed).
+Graph buildEfficientNetB0();
+Graph buildVgg16();
+Graph buildMobileNetV1Ssd();
+Graph buildYoloV4();
+Graph buildC3d();
+Graph buildS3d();
+Graph buildUNet();
+Graph buildFasterRcnn();
+Graph buildMaskRcnn();
+Graph buildTinyBert();
+Graph buildDistilBert();
+Graph buildAlbert();
+Graph buildBertBase();
+Graph buildMobileBert();
+Graph buildGpt2();
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_MODELS_MODELZOO_H

@@ -1,0 +1,101 @@
+//===- models/Video.cpp - 3D CNN models (C3D, S3D) ---------------------------------===//
+//
+// Action-recognition 3D CNNs: C3D (plain 3x3x3 convolutions) and S3D
+// (separable spatio-temporal convolutions with Inception-style branches).
+// Spatio-temporal dims scaled down; connectivity preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/ModelZoo.h"
+
+#include "graph/GraphBuilder.h"
+
+using namespace dnnfusion;
+
+namespace {
+
+NodeId conv3dRelu(GraphBuilder &B, NodeId X, int64_t C,
+                  std::vector<int64_t> K, std::vector<int64_t> Stride,
+                  std::vector<int64_t> Pad) {
+  NodeId Conv = B.conv(X, C, std::move(K), std::move(Stride), std::move(Pad));
+  return B.relu(Conv);
+}
+
+NodeId pool3d(GraphBuilder &B, NodeId X, std::vector<int64_t> K,
+              std::vector<int64_t> Stride) {
+  return B.maxPool(X, std::move(K), std::move(Stride));
+}
+
+/// S3D separable unit: (1,3,3) spatial conv then (3,1,1) temporal conv,
+/// each with BN + ReLU.
+NodeId sepConv3d(GraphBuilder &B, NodeId X, int64_t C) {
+  NodeId S = B.conv(X, C, {1, 3, 3}, {1, 1, 1}, {0, 1, 1}, 1, false);
+  S = B.relu(B.batchNorm(S));
+  NodeId T = B.conv(S, C, {3, 1, 1}, {1, 1, 1}, {1, 0, 0}, 1, false);
+  return B.relu(B.batchNorm(T));
+}
+
+/// Inception-style S3D block with four branches.
+NodeId s3dInception(GraphBuilder &B, NodeId X, int64_t C) {
+  NodeId B1 = B.relu(B.batchNorm(B.conv(X, C / 4, {1, 1, 1}, {}, {}, 1, false)));
+  NodeId B2 = sepConv3d(B, B.relu(B.batchNorm(B.conv(X, C / 4, {1, 1, 1}, {},
+                                                     {}, 1, false))),
+                        C / 2);
+  NodeId B3 = sepConv3d(B, B.relu(B.batchNorm(B.conv(X, C / 8, {1, 1, 1}, {},
+                                                     {}, 1, false))),
+                        C / 8);
+  NodeId B4 = B.maxPool(X, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  B4 = B.relu(B.batchNorm(B.conv(B4, C / 8, {1, 1, 1}, {}, {}, 1, false)));
+  return B.concat({B1, B2, B3, B4}, 1);
+}
+
+} // namespace
+
+Graph dnnfusion::buildC3d() {
+  GraphBuilder B(301);
+  NodeId X = B.input(Shape({1, 3, 8, 28, 28}), "clip");
+  NodeId H = conv3dRelu(B, X, 8, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = pool3d(B, H, {1, 2, 2}, {1, 2, 2});
+  H = conv3dRelu(B, H, 16, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = pool3d(B, H, {2, 2, 2}, {2, 2, 2});
+  H = conv3dRelu(B, H, 32, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = conv3dRelu(B, H, 32, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = pool3d(B, H, {2, 2, 2}, {2, 2, 2});
+  H = conv3dRelu(B, H, 64, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = conv3dRelu(B, H, 64, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = pool3d(B, H, {2, 2, 2}, {2, 2, 2});
+  H = conv3dRelu(B, H, 64, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = conv3dRelu(B, H, 64, {3, 3, 3}, {1, 1, 1}, {1, 1, 1});
+  H = pool3d(B, H, {1, 2, 2}, {1, 2, 2});
+  H = B.op(OpKind::Flatten, {H}, AttrMap().set("axis", int64_t(1)));
+  H = B.relu(B.linear(H, 128));
+  H = B.relu(B.linear(H, 128));
+  B.markOutput(B.softmax(B.linear(H, 101), -1));
+  Graph G = B.take();
+  G.verify();
+  return G;
+}
+
+Graph dnnfusion::buildS3d() {
+  GraphBuilder B(302);
+  NodeId X = B.input(Shape({1, 3, 8, 28, 28}), "clip");
+  NodeId H = sepConv3d(B, X, 8);
+  H = pool3d(B, H, {1, 2, 2}, {1, 2, 2});
+  H = B.relu(B.batchNorm(B.conv(H, 8, {1, 1, 1}, {}, {}, 1, false)));
+  H = sepConv3d(B, H, 16);
+  H = pool3d(B, H, {1, 2, 2}, {1, 2, 2});
+  for (int I = 0; I < 2; ++I)
+    H = s3dInception(B, H, 32);
+  H = pool3d(B, H, {2, 2, 2}, {2, 2, 2});
+  for (int I = 0; I < 5; ++I)
+    H = s3dInception(B, H, 48);
+  H = pool3d(B, H, {2, 2, 2}, {2, 2, 2});
+  for (int I = 0; I < 2; ++I)
+    H = s3dInception(B, H, 64);
+  H = B.op(OpKind::GlobalAveragePool, {H});
+  H = B.op(OpKind::Flatten, {H}, AttrMap().set("axis", int64_t(1)));
+  B.markOutput(B.softmax(B.linear(H, 101), -1));
+  Graph G = B.take();
+  G.verify();
+  return G;
+}

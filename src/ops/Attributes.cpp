@@ -1,0 +1,104 @@
+//===- ops/Attributes.cpp - Operator attribute bags --------------------------===//
+
+#include "ops/Attributes.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace dnnfusion;
+
+AttrMap &AttrMap::set(const std::string &Name, int64_t V) {
+  Values[Name] = V;
+  return *this;
+}
+
+AttrMap &AttrMap::set(const std::string &Name, double V) {
+  Values[Name] = V;
+  return *this;
+}
+
+AttrMap &AttrMap::set(const std::string &Name, std::vector<int64_t> V) {
+  Values[Name] = std::move(V);
+  return *this;
+}
+
+AttrMap &AttrMap::set(const std::string &Name, std::string V) {
+  Values[Name] = std::move(V);
+  return *this;
+}
+
+int64_t AttrMap::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  const int64_t *V = std::get_if<int64_t>(&It->second);
+  DNNF_CHECK(V, "attribute '%s' is not an int", Name.c_str());
+  return *V;
+}
+
+double AttrMap::getFloat(const std::string &Name, double Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  if (const double *V = std::get_if<double>(&It->second))
+    return *V;
+  if (const int64_t *V = std::get_if<int64_t>(&It->second))
+    return static_cast<double>(*V);
+  reportFatalErrorf("attribute '%s' is not a float", Name.c_str());
+}
+
+std::vector<int64_t> AttrMap::getInts(const std::string &Name,
+                                      std::vector<int64_t> Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  const auto *V = std::get_if<std::vector<int64_t>>(&It->second);
+  DNNF_CHECK(V, "attribute '%s' is not an int list", Name.c_str());
+  return *V;
+}
+
+std::string AttrMap::getString(const std::string &Name,
+                               std::string Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  const auto *V = std::get_if<std::string>(&It->second);
+  DNNF_CHECK(V, "attribute '%s' is not a string", Name.c_str());
+  return *V;
+}
+
+int64_t AttrMap::requireInt(const std::string &Name) const {
+  DNNF_CHECK(has(Name), "missing required int attribute '%s'", Name.c_str());
+  return getInt(Name, 0);
+}
+
+double AttrMap::requireFloat(const std::string &Name) const {
+  DNNF_CHECK(has(Name), "missing required float attribute '%s'", Name.c_str());
+  return getFloat(Name, 0.0);
+}
+
+const std::vector<int64_t> &AttrMap::requireInts(const std::string &Name) const {
+  auto It = Values.find(Name);
+  DNNF_CHECK(It != Values.end(), "missing required int-list attribute '%s'",
+             Name.c_str());
+  const auto *V = std::get_if<std::vector<int64_t>>(&It->second);
+  DNNF_CHECK(V, "attribute '%s' is not an int list", Name.c_str());
+  return *V;
+}
+
+std::string AttrMap::signature() const {
+  std::vector<std::string> Parts;
+  for (const auto &[Name, Value] : Values) {
+    std::string Rendered;
+    if (const int64_t *I = std::get_if<int64_t>(&Value))
+      Rendered = formatString("%lld", static_cast<long long>(*I));
+    else if (const double *D = std::get_if<double>(&Value))
+      Rendered = formatString("%g", *D);
+    else if (const auto *L = std::get_if<std::vector<int64_t>>(&Value))
+      Rendered = intsToString(*L);
+    else
+      Rendered = std::get<std::string>(Value);
+    Parts.push_back(Name + "=" + Rendered);
+  }
+  return joinStrings(Parts, ";");
+}

@@ -1,0 +1,48 @@
+//===- ops/IndexUtils.cpp - Coordinate/stride utilities ----------------------===//
+
+#include "ops/IndexUtils.h"
+
+#include "support/Error.h"
+
+using namespace dnnfusion;
+
+std::vector<int64_t> dnnfusion::broadcastStrides(const Shape &In,
+                                                 const Shape &Out) {
+  DNNF_CHECK(In.rank() <= Out.rank(),
+             "broadcast input rank exceeds output rank");
+  std::vector<int64_t> InStrides = In.rowMajorStrides();
+  std::vector<int64_t> Strides(static_cast<size_t>(Out.rank()), 0);
+  int Shift = Out.rank() - In.rank();
+  for (int D = 0; D < In.rank(); ++D) {
+    int64_t InDim = In.dim(D);
+    int64_t OutDim = Out.dim(D + Shift);
+    if (InDim == OutDim)
+      Strides[static_cast<size_t>(D + Shift)] =
+          InStrides[static_cast<size_t>(D)];
+    else
+      DNNF_CHECK(InDim == 1, "shape %s does not broadcast to %s",
+                 In.toString().c_str(), Out.toString().c_str());
+  }
+  return Strides;
+}
+
+StridedIndexIterator::StridedIndexIterator(const Shape &S,
+                                           std::vector<int64_t> Strides)
+    : Dims(S.dims()), Strides(std::move(Strides)),
+      Coords(Dims.size(), 0) {
+  DNNF_CHECK(this->Strides.size() == Dims.size(),
+             "stride rank does not match shape rank");
+}
+
+bool StridedIndexIterator::next() {
+  for (int D = static_cast<int>(Dims.size()) - 1; D >= 0; --D) {
+    size_t I = static_cast<size_t>(D);
+    ++Coords[I];
+    Offset += Strides[I];
+    if (Coords[I] < Dims[I])
+      return true;
+    Offset -= Strides[I] * Dims[I];
+    Coords[I] = 0;
+  }
+  return false;
+}

@@ -1,0 +1,52 @@
+//===- ops/IndexUtils.h - Coordinate/stride utilities ------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stride arithmetic shared by the broadcasting kernels and the fusion code
+/// generator's index maps: the central trick is that every Reorganize,
+/// Shuffle, Slice, broadcast, and Expand access pattern is an *affine* map
+/// from output coordinates to an input flat offset, so composing such
+/// operators never costs data movement (paper Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_OPS_INDEXUTILS_H
+#define DNNFUSION_OPS_INDEXUTILS_H
+
+#include "tensor/Shape.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Strides mapping coordinates of \p Out to a flat element offset of a
+/// tensor shaped \p In that numpy-broadcasts to \p Out: broadcast
+/// dimensions get stride 0. Result has Out.rank() entries.
+std::vector<int64_t> broadcastStrides(const Shape &In, const Shape &Out);
+
+/// An iterator over the coordinates of a shape in row-major order that
+/// simultaneously tracks a flat offset under caller-provided strides.
+/// Used by every materializing kernel that walks a non-contiguous view.
+class StridedIndexIterator {
+public:
+  StridedIndexIterator(const Shape &S, std::vector<int64_t> Strides);
+
+  int64_t offset() const { return Offset; }
+
+  /// Advances to the next row-major coordinate; returns false at the end.
+  bool next();
+
+private:
+  std::vector<int64_t> Dims;
+  std::vector<int64_t> Strides;
+  std::vector<int64_t> Coords;
+  int64_t Offset = 0;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_OPS_INDEXUTILS_H

@@ -1,0 +1,56 @@
+//===- ops/Kernels.cpp - Reference kernel dispatch ----------------------------===//
+
+#include "ops/Kernels.h"
+
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+
+using namespace dnnfusion;
+
+void dnnfusion::runRefKernel(OpKind Kind, const AttrMap &Attrs,
+                             const std::vector<const Tensor *> &Inputs,
+                             Tensor &Out, const KernelConfig &Config) {
+  if (isElementwise(Kind) || Kind == OpKind::BatchNormalization)
+    return detail::runElementwiseKernel(Kind, Attrs, Inputs, Out);
+
+  switch (Kind) {
+  case OpKind::Concat:
+  case OpKind::Slice:
+  case OpKind::Expand:
+  case OpKind::Gather:
+  case OpKind::Resize:
+  case OpKind::Upsample:
+  case OpKind::Reshape:
+  case OpKind::Flatten:
+  case OpKind::Squeeze:
+  case OpKind::Unsqueeze:
+  case OpKind::Transpose:
+  case OpKind::DepthToSpace:
+  case OpKind::SpaceToDepth:
+    return detail::runDataMovementKernel(Kind, Attrs, Inputs, Out);
+
+  case OpKind::MatMul:
+  case OpKind::Gemm:
+    return detail::runMatMulKernel(Kind, Attrs, Inputs, Out, Config);
+
+  case OpKind::Conv:
+  case OpKind::ConvTranspose:
+    return detail::runConvKernel(Kind, Attrs, Inputs, Out);
+
+  case OpKind::MaxPool:
+  case OpKind::AveragePool:
+  case OpKind::GlobalAveragePool:
+  case OpKind::ReduceSum:
+  case OpKind::ReduceMean:
+  case OpKind::ReduceMax:
+  case OpKind::ReduceMin:
+  case OpKind::ReduceProd:
+  case OpKind::Softmax:
+  case OpKind::CumSum:
+  case OpKind::InstanceNormalization:
+    return detail::runPoolReduceKernel(Kind, Attrs, Inputs, Out);
+
+  default:
+    reportFatalErrorf("runRefKernel: no kernel for %s", opKindName(Kind));
+  }
+}

@@ -1,0 +1,68 @@
+//===- ops/Kernels.h - Reference operator kernels ----------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The materializing reference kernels: one kernel invocation per operator,
+/// each reading whole input tensors and writing a whole output tensor.
+/// This is the substrate the no-fusion baseline (OurB) executes on and the
+/// oracle the fused evaluator is tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_OPS_KERNELS_H
+#define DNNFUSION_OPS_KERNELS_H
+
+#include "ops/Attributes.h"
+#include "ops/OpKind.h"
+#include "tensor/Tensor.h"
+
+#include <vector>
+
+namespace dnnfusion {
+
+/// Tunable parameters of the compute-intensive kernels; the auto-tuner
+/// (Figure 9b) searches this space.
+struct KernelConfig {
+  int TileM = 32;
+  int TileN = 128;
+  int TileK = 64;
+  /// Row-block unroll factor of the matmul micro kernel (1, 2, or 4).
+  int UnrollM = 4;
+};
+
+/// Executes \p Kind on \p Inputs, writing \p Out (pre-allocated with the
+/// inferred shape). Aborts on malformed inputs; shapes are assumed checked
+/// by the graph verifier.
+void runRefKernel(OpKind Kind, const AttrMap &Attrs,
+                  const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                  const KernelConfig &Config = KernelConfig());
+
+/// Tiled single-threaded matmul micro kernel used directly by the
+/// auto-tuner: C[M,N] (+)= A[M,K] * B[K,N].
+void matmulTiled(const float *A, const float *B, float *C, int64_t M,
+                 int64_t N, int64_t K, const KernelConfig &Config);
+
+namespace detail {
+// Family implementations (one translation unit each).
+void runElementwiseKernel(OpKind Kind, const AttrMap &Attrs,
+                          const std::vector<const Tensor *> &Inputs,
+                          Tensor &Out);
+void runDataMovementKernel(OpKind Kind, const AttrMap &Attrs,
+                           const std::vector<const Tensor *> &Inputs,
+                           Tensor &Out);
+void runMatMulKernel(OpKind Kind, const AttrMap &Attrs,
+                     const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                     const KernelConfig &Config);
+void runConvKernel(OpKind Kind, const AttrMap &Attrs,
+                   const std::vector<const Tensor *> &Inputs, Tensor &Out);
+void runPoolReduceKernel(OpKind Kind, const AttrMap &Attrs,
+                         const std::vector<const Tensor *> &Inputs,
+                         Tensor &Out);
+} // namespace detail
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_OPS_KERNELS_H

@@ -1,0 +1,76 @@
+//===- ops/KernelsElementwise.cpp - Elementwise reference kernels -------------===//
+
+#include "ops/IndexUtils.h"
+#include "ops/Kernels.h"
+#include "ops/OpSchema.h"
+#include "ops/Scalars.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+using namespace dnnfusion;
+
+namespace {
+
+/// Shapes the [C] parameter tensors of BatchNormalization/PRelu-style
+/// operators as rank(X) views with the channel on dim 1 so the generic
+/// broadcast machinery applies.
+Shape channelParamView(const Shape &X, const Shape &Param) {
+  if (Param.rank() != 1)
+    return Param;
+  std::vector<int64_t> Dims(static_cast<size_t>(X.rank()), 1);
+  if (X.rank() >= 2 && X.dim(1) == Param.dim(0))
+    Dims[1] = Param.dim(0);
+  else
+    return Param; // Right-aligned numpy broadcast applies as-is.
+  return Shape(std::move(Dims));
+}
+
+} // namespace
+
+void dnnfusion::detail::runElementwiseKernel(
+    OpKind Kind, const AttrMap &Attrs,
+    const std::vector<const Tensor *> &Inputs, Tensor &Out) {
+  ScalarParams P = resolveScalarParams(Kind, Attrs);
+  int NumArgs = static_cast<int>(Inputs.size());
+  DNNF_CHECK(NumArgs >= 1 && NumArgs <= 8, "unsupported elementwise arity %d",
+             NumArgs);
+  int64_t N = Out.numElements();
+
+  // Fast path: every input already has the output shape.
+  bool SameShape = true;
+  for (const Tensor *In : Inputs)
+    SameShape = SameShape && In->shape() == Out.shape();
+  if (SameShape) {
+    const float *Args[8];
+    for (int I = 0; I < NumArgs; ++I)
+      Args[I] = Inputs[static_cast<size_t>(I)]->data();
+    parallelFor(N, [&](int64_t Begin, int64_t End) {
+      const float *Shifted[8];
+      for (int I = 0; I < NumArgs; ++I)
+        Shifted[I] = Args[I] + Begin;
+      evalElementwiseChunk(Kind, P, Shifted, NumArgs, Out.data() + Begin,
+                           End - Begin);
+    });
+    return;
+  }
+
+  // Broadcast path: walk output coordinates, tracking one strided offset
+  // per input (stride 0 along broadcast dimensions).
+  std::vector<StridedIndexIterator> Iters;
+  Iters.reserve(static_cast<size_t>(NumArgs));
+  for (const Tensor *In : Inputs) {
+    Shape View = Kind == OpKind::BatchNormalization || Kind == OpKind::PRelu
+                     ? channelParamView(Out.shape(), In->shape())
+                     : In->shape();
+    Iters.emplace_back(Out.shape(), broadcastStrides(View, Out.shape()));
+  }
+  float Args[8];
+  for (int64_t Flat = 0; Flat < N; ++Flat) {
+    for (int I = 0; I < NumArgs; ++I)
+      Args[I] = Inputs[static_cast<size_t>(I)]->at(
+          Iters[static_cast<size_t>(I)].offset());
+    Out.at(Flat) = evalScalarOp(Kind, Args, P);
+    for (auto &It : Iters)
+      It.next();
+  }
+}

@@ -1,0 +1,163 @@
+//===- ops/KernelsMatMul.cpp - MatMul/Gemm reference kernels -------------------===//
+
+#include "ops/IndexUtils.h"
+#include "ops/Kernels.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace dnnfusion;
+
+void dnnfusion::matmulTiled(const float *A, const float *B, float *C,
+                            int64_t M, int64_t N, int64_t K,
+                            const KernelConfig &Config) {
+  std::memset(C, 0, static_cast<size_t>(M * N) * sizeof(float));
+  int64_t TM = std::max(1, Config.TileM);
+  int64_t TN = std::max(1, Config.TileN);
+  int64_t TK = std::max(1, Config.TileK);
+  int64_t UM = std::clamp(Config.UnrollM, 1, 4);
+  for (int64_t M0 = 0; M0 < M; M0 += TM)
+    for (int64_t K0 = 0; K0 < K; K0 += TK)
+      for (int64_t N0 = 0; N0 < N; N0 += TN) {
+        int64_t M1 = std::min(M0 + TM, M);
+        int64_t K1 = std::min(K0 + TK, K);
+        int64_t N1 = std::min(N0 + TN, N);
+        int64_t I = M0;
+        // Row-blocked i-k-j micro kernel: the inner j loop vectorizes and
+        // UM rows of C stay live in registers.
+        for (; I + UM <= M1; I += UM) {
+          for (int64_t Kk = K0; Kk < K1; ++Kk) {
+            const float *Brow = B + Kk * N;
+            for (int64_t R = 0; R < UM; ++R) {
+              float Av = A[(I + R) * K + Kk];
+              float *Crow = C + (I + R) * N;
+              for (int64_t J = N0; J < N1; ++J)
+                Crow[J] += Av * Brow[J];
+            }
+          }
+        }
+        for (; I < M1; ++I)
+          for (int64_t Kk = K0; Kk < K1; ++Kk) {
+            float Av = A[I * K + Kk];
+            const float *Brow = B + Kk * N;
+            float *Crow = C + I * N;
+            for (int64_t J = N0; J < N1; ++J)
+              Crow[J] += Av * Brow[J];
+          }
+      }
+}
+
+namespace {
+
+/// Plain i-k-j matmul of one [M,K]x[K,N] problem, rows [RowBegin,RowEnd).
+void matmulRows(const float *A, const float *B, float *C, int64_t RowBegin,
+                int64_t RowEnd, int64_t N, int64_t K) {
+  for (int64_t I = RowBegin; I < RowEnd; ++I) {
+    float *Crow = C + I * N;
+    std::memset(Crow, 0, static_cast<size_t>(N) * sizeof(float));
+    for (int64_t Kk = 0; Kk < K; ++Kk) {
+      float Av = A[I * K + Kk];
+      const float *Brow = B + Kk * N;
+      for (int64_t J = 0; J < N; ++J)
+        Crow[J] += Av * Brow[J];
+    }
+  }
+}
+
+void runMatMul(const std::vector<const Tensor *> &Inputs, Tensor &Out) {
+  const Tensor &A = *Inputs[0], &B = *Inputs[1];
+  int Ra = A.shape().rank(), Rb = B.shape().rank();
+  int64_t M = A.shape().dim(Ra - 2), K = A.shape().dim(Ra - 1);
+  int64_t N = B.shape().dim(Rb - 1);
+  Shape BatchShape(std::vector<int64_t>(Out.shape().dims().begin(),
+                                        Out.shape().dims().end() - 2));
+  int64_t Batches = BatchShape.numElements();
+
+  Shape BatchA(std::vector<int64_t>(A.shape().dims().begin(),
+                                    A.shape().dims().end() - 2));
+  Shape BatchB(std::vector<int64_t>(B.shape().dims().begin(),
+                                    B.shape().dims().end() - 2));
+  std::vector<int64_t> StridesA = broadcastStrides(BatchA, BatchShape);
+  std::vector<int64_t> StridesB = broadcastStrides(BatchB, BatchShape);
+
+  // Precompute per-batch base offsets, then parallelize across all rows.
+  std::vector<int64_t> BaseA(static_cast<size_t>(Batches)),
+      BaseB(static_cast<size_t>(Batches));
+  std::vector<int64_t> Coords;
+  for (int64_t Bi = 0; Bi < Batches; ++Bi) {
+    BatchShape.unflatten(Bi, Coords);
+    int64_t Oa = 0, Ob = 0;
+    for (size_t D = 0; D < Coords.size(); ++D) {
+      Oa += Coords[D] * StridesA[D];
+      Ob += Coords[D] * StridesB[D];
+    }
+    BaseA[static_cast<size_t>(Bi)] = Oa * M * K;
+    BaseB[static_cast<size_t>(Bi)] = Ob * K * N;
+  }
+
+  parallelFor(Batches * M, [&](int64_t Begin, int64_t End) {
+    for (int64_t Row = Begin; Row < End;) {
+      int64_t Bi = Row / M;
+      int64_t RowInBatch = Row % M;
+      int64_t RowsHere = std::min(M - RowInBatch, End - Row);
+      matmulRows(A.data() + BaseA[static_cast<size_t>(Bi)],
+                 B.data() + BaseB[static_cast<size_t>(Bi)],
+                 Out.data() + Bi * M * N, RowInBatch, RowInBatch + RowsHere, N,
+                 K);
+      Row += RowsHere;
+    }
+  });
+}
+
+void runGemm(const AttrMap &Attrs, const std::vector<const Tensor *> &Inputs,
+             Tensor &Out) {
+  const Tensor &A = *Inputs[0], &B = *Inputs[1];
+  bool TA = Attrs.getInt("transA", 0) != 0;
+  bool TB = Attrs.getInt("transB", 0) != 0;
+  int64_t M = Out.shape().dim(0), N = Out.shape().dim(1);
+  int64_t K = TA ? A.shape().dim(0) : A.shape().dim(1);
+
+  auto Aat = [&](int64_t I, int64_t Kk) {
+    return TA ? A.at(Kk * M + I) : A.at(I * K + Kk);
+  };
+  auto Bat = [&](int64_t Kk, int64_t J) {
+    return TB ? B.at(J * K + Kk) : B.at(Kk * N + J);
+  };
+
+  parallelFor(M, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I) {
+      float *Crow = Out.data() + I * N;
+      std::memset(Crow, 0, static_cast<size_t>(N) * sizeof(float));
+      for (int64_t Kk = 0; Kk < K; ++Kk) {
+        float Av = Aat(I, Kk);
+        for (int64_t J = 0; J < N; ++J)
+          Crow[J] += Av * Bat(Kk, J);
+      }
+    }
+  });
+
+  if (Inputs.size() == 3) {
+    const Tensor &Bias = *Inputs[2];
+    StridedIndexIterator It(Out.shape(),
+                            broadcastStrides(Bias.shape(), Out.shape()));
+    for (int64_t Flat = 0, E = Out.numElements(); Flat < E; ++Flat) {
+      Out.at(Flat) += Bias.at(It.offset());
+      It.next();
+    }
+  }
+}
+
+} // namespace
+
+void dnnfusion::detail::runMatMulKernel(
+    OpKind Kind, const AttrMap &Attrs,
+    const std::vector<const Tensor *> &Inputs, Tensor &Out,
+    const KernelConfig &Config) {
+  (void)Config;
+  if (Kind == OpKind::MatMul)
+    return runMatMul(Inputs, Out);
+  DNNF_CHECK(Kind == OpKind::Gemm, "unexpected kind in runMatMulKernel");
+  runGemm(Attrs, Inputs, Out);
+}

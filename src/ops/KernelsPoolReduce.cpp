@@ -1,0 +1,277 @@
+//===- ops/KernelsPoolReduce.cpp - Pooling/reduction reference kernels ---------===//
+
+#include "ops/Kernels.h"
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace dnnfusion;
+
+namespace {
+
+std::vector<int64_t> spatialAttr(const AttrMap &Attrs, const char *Name,
+                                 size_t Count, int64_t Default) {
+  std::vector<int64_t> V = Attrs.getInts(Name);
+  if (V.empty())
+    V.assign(Count, Default);
+  return V;
+}
+
+void runPool(OpKind Kind, const AttrMap &Attrs, const Tensor &X, Tensor &Out) {
+  bool IsMax = Kind == OpKind::MaxPool;
+  int Sp = X.shape().rank() - 2;
+  int64_t N = X.shape().dim(0), C = X.shape().dim(1);
+  std::vector<int64_t> K = Attrs.requireInts("kernel");
+  std::vector<int64_t> ISp(X.shape().dims().begin() + 2,
+                           X.shape().dims().end());
+  std::vector<int64_t> OSp(Out.shape().dims().begin() + 2,
+                           Out.shape().dims().end());
+  std::vector<int64_t> S = spatialAttr(Attrs, "strides", K.size(), 1);
+  std::vector<int64_t> P = spatialAttr(Attrs, "pads", K.size(), 0);
+
+  int64_t OutSpatialN = 1, KernelN = 1, InSpatialN = 1;
+  for (int I = 0; I < Sp; ++I) {
+    OutSpatialN *= OSp[static_cast<size_t>(I)];
+    KernelN *= K[static_cast<size_t>(I)];
+    InSpatialN *= ISp[static_cast<size_t>(I)];
+  }
+
+  parallelFor(N * C, [&](int64_t Begin, int64_t End) {
+    std::vector<int64_t> OCoord(static_cast<size_t>(Sp));
+    std::vector<int64_t> KCoord(static_cast<size_t>(Sp));
+    for (int64_t Img = Begin; Img < End; ++Img) {
+      const float *Xc = X.data() + Img * InSpatialN;
+      float *Y = Out.data() + Img * OutSpatialN;
+      for (int64_t O = 0; O < OutSpatialN; ++O) {
+        int64_t Rem = O;
+        for (int Dd = Sp - 1; Dd >= 0; --Dd) {
+          OCoord[static_cast<size_t>(Dd)] = Rem % OSp[static_cast<size_t>(Dd)];
+          Rem /= OSp[static_cast<size_t>(Dd)];
+        }
+        float Acc = IsMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+        int64_t Valid = 0;
+        for (int64_t Kk = 0; Kk < KernelN; ++Kk) {
+          int64_t KRem = Kk;
+          for (int Dd = Sp - 1; Dd >= 0; --Dd) {
+            KCoord[static_cast<size_t>(Dd)] = KRem % K[static_cast<size_t>(Dd)];
+            KRem /= K[static_cast<size_t>(Dd)];
+          }
+          bool InBounds = true;
+          int64_t InFlat = 0, Stride = 1;
+          for (int Dd = Sp - 1; Dd >= 0; --Dd) {
+            size_t Ds = static_cast<size_t>(Dd);
+            int64_t In = OCoord[Ds] * S[Ds] - P[Ds] + KCoord[Ds];
+            if (In < 0 || In >= ISp[Ds]) {
+              InBounds = false;
+              break;
+            }
+            InFlat += In * Stride;
+            Stride *= ISp[Ds];
+          }
+          if (!InBounds)
+            continue;
+          ++Valid;
+          float V = Xc[InFlat];
+          Acc = IsMax ? (V > Acc ? V : Acc) : Acc + V;
+        }
+        Y[O] = IsMax ? Acc : (Valid > 0 ? Acc / static_cast<float>(Valid)
+                                        : 0.0f);
+      }
+    }
+  });
+}
+
+void runGlobalAveragePool(const Tensor &X, Tensor &Out) {
+  int64_t N = X.shape().dim(0), C = X.shape().dim(1);
+  int64_t SpatialN = X.numElements() / (N * C);
+  parallelFor(N * C, [&](int64_t Begin, int64_t End) {
+    for (int64_t Img = Begin; Img < End; ++Img) {
+      const float *Xc = X.data() + Img * SpatialN;
+      double Acc = 0.0;
+      for (int64_t I = 0; I < SpatialN; ++I)
+        Acc += Xc[I];
+      Out.at(Img) = static_cast<float>(Acc / static_cast<double>(SpatialN));
+    }
+  });
+}
+
+void runReduce(OpKind Kind, const AttrMap &Attrs, const Tensor &X,
+               Tensor &Out) {
+  std::vector<int64_t> Axes = Attrs.requireInts("axes");
+  int Rank = X.shape().rank();
+  std::vector<bool> Reduced(static_cast<size_t>(Rank), false);
+  int64_t ReducedN = 1;
+  for (int64_t Axis : Axes) {
+    if (Axis < 0)
+      Axis += Rank;
+    Reduced[static_cast<size_t>(Axis)] = true;
+  }
+  for (int D = 0; D < Rank; ++D)
+    if (Reduced[static_cast<size_t>(D)])
+      ReducedN *= X.shape().dim(D);
+
+  float Init = 0.0f;
+  if (Kind == OpKind::ReduceMax)
+    Init = -std::numeric_limits<float>::infinity();
+  else if (Kind == OpKind::ReduceMin)
+    Init = std::numeric_limits<float>::infinity();
+  else if (Kind == OpKind::ReduceProd)
+    Init = 1.0f;
+  for (int64_t I = 0, E = Out.numElements(); I < E; ++I)
+    Out.at(I) = Init;
+
+  // Walk the input once; the output offset follows strides that are zero
+  // on reduced dimensions.
+  std::vector<int64_t> OutStrides(static_cast<size_t>(Rank), 0);
+  {
+    int64_t Stride = 1;
+    // Build strides over kept dims, matching Out's layout (keepdims or not).
+    for (int D = Rank - 1; D >= 0; --D) {
+      if (!Reduced[static_cast<size_t>(D)]) {
+        OutStrides[static_cast<size_t>(D)] = Stride;
+        Stride *= X.shape().dim(D);
+      }
+    }
+  }
+
+  std::vector<int64_t> Coords;
+  for (int64_t Flat = 0, N = X.numElements(); Flat < N; ++Flat) {
+    X.shape().unflatten(Flat, Coords);
+    int64_t OutFlat = 0;
+    for (int D = 0; D < Rank; ++D)
+      OutFlat += Coords[static_cast<size_t>(D)] * OutStrides[static_cast<size_t>(D)];
+    float V = X.at(Flat);
+    float &Acc = Out.at(OutFlat);
+    switch (Kind) {
+    case OpKind::ReduceSum:
+    case OpKind::ReduceMean:
+      Acc += V;
+      break;
+    case OpKind::ReduceMax:
+      Acc = V > Acc ? V : Acc;
+      break;
+    case OpKind::ReduceMin:
+      Acc = V < Acc ? V : Acc;
+      break;
+    case OpKind::ReduceProd:
+      Acc *= V;
+      break;
+    default:
+      reportFatalErrorf("runReduce: unexpected kind %s", opKindName(Kind));
+    }
+  }
+  if (Kind == OpKind::ReduceMean)
+    for (int64_t I = 0, E = Out.numElements(); I < E; ++I)
+      Out.at(I) /= static_cast<float>(ReducedN);
+}
+
+/// Decomposes \p S at \p Axis into (Outer, Axis extent, Inner).
+void axisSplit(const Shape &S, int64_t Axis, int64_t &Outer, int64_t &AxisN,
+               int64_t &Inner) {
+  if (Axis < 0)
+    Axis += S.rank();
+  Outer = 1;
+  Inner = 1;
+  for (int D = 0; D < S.rank(); ++D) {
+    if (D < Axis)
+      Outer *= S.dim(D);
+    else if (D > Axis)
+      Inner *= S.dim(D);
+  }
+  AxisN = S.dim(static_cast<int>(Axis));
+}
+
+void runSoftmax(const AttrMap &Attrs, const Tensor &X, Tensor &Out) {
+  int64_t Outer, AxisN, Inner;
+  axisSplit(X.shape(), Attrs.getInt("axis", -1), Outer, AxisN, Inner);
+  parallelFor(Outer * Inner, [&](int64_t Begin, int64_t End) {
+    for (int64_t P = Begin; P < End; ++P) {
+      int64_t O = P / Inner, I = P % Inner;
+      const float *Xv = X.data() + O * AxisN * Inner + I;
+      float *Yv = Out.data() + O * AxisN * Inner + I;
+      float Max = -std::numeric_limits<float>::infinity();
+      for (int64_t A = 0; A < AxisN; ++A)
+        Max = Xv[A * Inner] > Max ? Xv[A * Inner] : Max;
+      float Sum = 0.0f;
+      for (int64_t A = 0; A < AxisN; ++A) {
+        float E = std::exp(Xv[A * Inner] - Max);
+        Yv[A * Inner] = E;
+        Sum += E;
+      }
+      float Inv = 1.0f / Sum;
+      for (int64_t A = 0; A < AxisN; ++A)
+        Yv[A * Inner] *= Inv;
+    }
+  });
+}
+
+void runCumSum(const AttrMap &Attrs, const Tensor &X, Tensor &Out) {
+  int64_t Outer, AxisN, Inner;
+  axisSplit(X.shape(), Attrs.getInt("axis", 0), Outer, AxisN, Inner);
+  for (int64_t O = 0; O < Outer; ++O)
+    for (int64_t I = 0; I < Inner; ++I) {
+      float Acc = 0.0f;
+      for (int64_t A = 0; A < AxisN; ++A) {
+        int64_t Flat = (O * AxisN + A) * Inner + I;
+        Acc += X.at(Flat);
+        Out.at(Flat) = Acc;
+      }
+    }
+}
+
+void runInstanceNorm(const AttrMap &Attrs,
+                     const std::vector<const Tensor *> &Inputs, Tensor &Out) {
+  const Tensor &X = *Inputs[0], &Scale = *Inputs[1], &Bias = *Inputs[2];
+  float Eps = static_cast<float>(Attrs.getFloat("epsilon", 1e-5));
+  int64_t N = X.shape().dim(0), C = X.shape().dim(1);
+  int64_t SpatialN = X.numElements() / (N * C);
+  parallelFor(N * C, [&](int64_t Begin, int64_t End) {
+    for (int64_t Img = Begin; Img < End; ++Img) {
+      int64_t Ci = Img % C;
+      const float *Xc = X.data() + Img * SpatialN;
+      float *Yc = Out.data() + Img * SpatialN;
+      double Sum = 0.0, SumSq = 0.0;
+      for (int64_t I = 0; I < SpatialN; ++I) {
+        Sum += Xc[I];
+        SumSq += static_cast<double>(Xc[I]) * Xc[I];
+      }
+      double Mean = Sum / static_cast<double>(SpatialN);
+      double Var = SumSq / static_cast<double>(SpatialN) - Mean * Mean;
+      float Inv = static_cast<float>(1.0 / std::sqrt(Var + Eps));
+      float Sc = Scale.at(Ci), Bi = Bias.at(Ci);
+      for (int64_t I = 0; I < SpatialN; ++I)
+        Yc[I] = Sc * (Xc[I] - static_cast<float>(Mean)) * Inv + Bi;
+    }
+  });
+}
+
+} // namespace
+
+void dnnfusion::detail::runPoolReduceKernel(
+    OpKind Kind, const AttrMap &Attrs,
+    const std::vector<const Tensor *> &Inputs, Tensor &Out) {
+  switch (Kind) {
+  case OpKind::MaxPool:
+  case OpKind::AveragePool:
+    return runPool(Kind, Attrs, *Inputs[0], Out);
+  case OpKind::GlobalAveragePool:
+    return runGlobalAveragePool(*Inputs[0], Out);
+  case OpKind::ReduceSum:
+  case OpKind::ReduceMean:
+  case OpKind::ReduceMax:
+  case OpKind::ReduceMin:
+  case OpKind::ReduceProd:
+    return runReduce(Kind, Attrs, *Inputs[0], Out);
+  case OpKind::Softmax:
+    return runSoftmax(Attrs, *Inputs[0], Out);
+  case OpKind::CumSum:
+    return runCumSum(Attrs, *Inputs[0], Out);
+  case OpKind::InstanceNormalization:
+    return runInstanceNorm(Attrs, Inputs, Out);
+  default:
+    reportFatalErrorf("runPoolReduceKernel: unhandled %s", opKindName(Kind));
+  }
+}

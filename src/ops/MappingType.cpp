@@ -1,0 +1,51 @@
+//===- ops/MappingType.cpp - The paper's five mapping types -----------------===//
+
+#include "ops/MappingType.h"
+
+using namespace dnnfusion;
+
+const char *dnnfusion::mappingTypeName(MappingType MT) {
+  switch (MT) {
+  case MappingType::OneToOne:
+    return "One-to-One";
+  case MappingType::OneToMany:
+    return "One-to-Many";
+  case MappingType::ManyToMany:
+    return "Many-to-Many";
+  case MappingType::Reorganize:
+    return "Reorganize";
+  case MappingType::Shuffle:
+    return "Shuffle";
+  }
+  return "?";
+}
+
+int dnnfusion::transformationImpedance(MappingType MT) {
+  switch (MT) {
+  case MappingType::OneToOne:
+    return 0;
+  case MappingType::Reorganize:
+  case MappingType::Shuffle:
+    return 1;
+  case MappingType::OneToMany:
+  case MappingType::ManyToMany:
+    return 2;
+  }
+  return 0;
+}
+
+int dnnfusion::mappingComplexity(MappingType MT) {
+  switch (MT) {
+  case MappingType::OneToOne:
+    return 0;
+  case MappingType::Reorganize:
+    return 1;
+  case MappingType::Shuffle:
+    return 2;
+  case MappingType::OneToMany:
+    return 3;
+  case MappingType::ManyToMany:
+    return 4;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- ops/MappingType.h - The paper's five mapping types --------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five input/output mapping types of DNNFusion (paper §3.1, Table 2):
+/// One-to-One, One-to-Many, Many-to-Many, Reorganize, and Shuffle, plus the
+/// "transformation impedance" ordering used by the fusion analysis
+/// (One-to-One < {Reorganize, Shuffle} < {One-to-Many, Many-to-Many}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_OPS_MAPPINGTYPE_H
+#define DNNFUSION_OPS_MAPPINGTYPE_H
+
+namespace dnnfusion {
+
+/// The relation between input and output elements of an operator.
+enum class MappingType {
+  /// y[d...] = F(x[f(d)...]) with a 1-1 index correspondence (Add, Relu...).
+  OneToOne,
+  /// One input element feeds many output elements (Expand, Gather, Resize).
+  OneToMany,
+  /// Each output element reads many input elements (Conv, GEMM, Reduce...).
+  ManyToMany,
+  /// Pure re-dimensioning, 1-1 and order-preserving (Reshape, Flatten...).
+  Reorganize,
+  /// Pure index permutation (Transpose, DepthToSpace, SpaceToDepth).
+  Shuffle,
+};
+
+/// Number of distinct mapping types.
+inline constexpr int NumMappingTypes = 5;
+
+/// Human-readable name of \p MT.
+const char *mappingTypeName(MappingType MT);
+
+/// Transformation impedance (paper §3.2): the capability of a mapping type
+/// to decide the fused operator's type. Higher wins when two types fuse.
+/// One-to-One = 0; Reorganize = Shuffle = 1; One-to-Many = Many-to-Many = 2.
+int transformationImpedance(MappingType MT);
+
+/// Complexity order used to pick an operator's overall mapping type when
+/// its input/output pairs disagree (paper Table 2 footnote): One-to-One <
+/// Reorganize < Shuffle < One-to-Many < Many-to-Many.
+int mappingComplexity(MappingType MT);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_OPS_MAPPINGTYPE_H

@@ -1,0 +1,151 @@
+//===- ops/OpKind.cpp - Operator kinds ---------------------------------------===//
+
+#include "ops/OpKind.h"
+
+#include "support/Error.h"
+
+using namespace dnnfusion;
+
+const char *dnnfusion::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Input:
+    return "Input";
+  case OpKind::Constant:
+    return "Constant";
+  case OpKind::Add:
+    return "Add";
+  case OpKind::Sub:
+    return "Sub";
+  case OpKind::Mul:
+    return "Mul";
+  case OpKind::Div:
+    return "Div";
+  case OpKind::Pow:
+    return "Pow";
+  case OpKind::Maximum:
+    return "Maximum";
+  case OpKind::Minimum:
+    return "Minimum";
+  case OpKind::Greater:
+    return "Greater";
+  case OpKind::Equal:
+    return "Equal";
+  case OpKind::Where:
+    return "Where";
+  case OpKind::PRelu:
+    return "PRelu";
+  case OpKind::Relu:
+    return "Relu";
+  case OpKind::LeakyRelu:
+    return "LeakyRelu";
+  case OpKind::Sigmoid:
+    return "Sigmoid";
+  case OpKind::Tanh:
+    return "Tanh";
+  case OpKind::Softplus:
+    return "Softplus";
+  case OpKind::Exp:
+    return "Exp";
+  case OpKind::Log:
+    return "Log";
+  case OpKind::Sqrt:
+    return "Sqrt";
+  case OpKind::Reciprocal:
+    return "Reciprocal";
+  case OpKind::Abs:
+    return "Abs";
+  case OpKind::Square:
+    return "Square";
+  case OpKind::Erf:
+    return "Erf";
+  case OpKind::Neg:
+    return "Neg";
+  case OpKind::Ceil:
+    return "Ceil";
+  case OpKind::Floor:
+    return "Floor";
+  case OpKind::Round:
+    return "Round";
+  case OpKind::Clip:
+    return "Clip";
+  case OpKind::Sin:
+    return "Sin";
+  case OpKind::Cos:
+    return "Cos";
+  case OpKind::Asin:
+    return "Asin";
+  case OpKind::Not:
+    return "Not";
+  case OpKind::Cast:
+    return "Cast";
+  case OpKind::BitShift:
+    return "BitShift";
+  case OpKind::Identity:
+    return "Identity";
+  case OpKind::Concat:
+    return "Concat";
+  case OpKind::Slice:
+    return "Slice";
+  case OpKind::BatchNormalization:
+    return "BatchNormalization";
+  case OpKind::Expand:
+    return "Expand";
+  case OpKind::Gather:
+    return "Gather";
+  case OpKind::Resize:
+    return "Resize";
+  case OpKind::Upsample:
+    return "Upsample";
+  case OpKind::Conv:
+    return "Conv";
+  case OpKind::ConvTranspose:
+    return "ConvTranspose";
+  case OpKind::MatMul:
+    return "MatMul";
+  case OpKind::Gemm:
+    return "Gemm";
+  case OpKind::MaxPool:
+    return "MaxPool";
+  case OpKind::AveragePool:
+    return "AveragePool";
+  case OpKind::GlobalAveragePool:
+    return "GlobalAveragePool";
+  case OpKind::ReduceSum:
+    return "ReduceSum";
+  case OpKind::ReduceMean:
+    return "ReduceMean";
+  case OpKind::ReduceMax:
+    return "ReduceMax";
+  case OpKind::ReduceMin:
+    return "ReduceMin";
+  case OpKind::ReduceProd:
+    return "ReduceProd";
+  case OpKind::Softmax:
+    return "Softmax";
+  case OpKind::CumSum:
+    return "CumSum";
+  case OpKind::InstanceNormalization:
+    return "InstanceNormalization";
+  case OpKind::Reshape:
+    return "Reshape";
+  case OpKind::Flatten:
+    return "Flatten";
+  case OpKind::Squeeze:
+    return "Squeeze";
+  case OpKind::Unsqueeze:
+    return "Unsqueeze";
+  case OpKind::Transpose:
+    return "Transpose";
+  case OpKind::DepthToSpace:
+    return "DepthToSpace";
+  case OpKind::SpaceToDepth:
+    return "SpaceToDepth";
+  }
+  return "?";
+}
+
+OpKind dnnfusion::opKindFromIndex(int Index) {
+  DNNF_CHECK(Index >= 0 && Index < NumOpKinds, "op kind index %d out of range",
+             Index);
+  return static_cast<OpKind>(Index);
+}

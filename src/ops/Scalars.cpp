@@ -1,0 +1,178 @@
+//===- ops/Scalars.cpp - Per-element operator semantics ----------------------===//
+
+#include "ops/Scalars.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace dnnfusion;
+
+ScalarParams dnnfusion::resolveScalarParams(OpKind Kind, const AttrMap &Attrs) {
+  ScalarParams P;
+  switch (Kind) {
+  case OpKind::LeakyRelu:
+    P.A = static_cast<float>(Attrs.getFloat("alpha", 0.01));
+    break;
+  case OpKind::Clip:
+    P.A = static_cast<float>(
+        Attrs.getFloat("min", -std::numeric_limits<double>::infinity()));
+    P.B = static_cast<float>(
+        Attrs.getFloat("max", std::numeric_limits<double>::infinity()));
+    break;
+  case OpKind::BitShift: {
+    int64_t Bits = Attrs.getInt("bits", 1);
+    bool Right = Attrs.getInt("direction", 0) != 0;
+    P.A = std::ldexp(1.0f, static_cast<int>(Right ? -Bits : Bits));
+    break;
+  }
+  case OpKind::Cast:
+    // A != 0 selects integer truncation ("i32"); identity otherwise.
+    P.A = Attrs.getString("to", "f32") == "i32" ? 1.0f : 0.0f;
+    break;
+  case OpKind::BatchNormalization:
+    P.A = static_cast<float>(Attrs.getFloat("epsilon", 1e-5));
+    break;
+  default:
+    break;
+  }
+  return P;
+}
+
+float dnnfusion::evalScalarOp(OpKind Kind, const float *Args,
+                              const ScalarParams &P) {
+  float X = Args[0];
+  switch (Kind) {
+  case OpKind::Add:
+    return Args[0] + Args[1];
+  case OpKind::Sub:
+    return Args[0] - Args[1];
+  case OpKind::Mul:
+    return Args[0] * Args[1];
+  case OpKind::Div:
+    return Args[0] / Args[1];
+  case OpKind::Pow:
+    return std::pow(Args[0], Args[1]);
+  case OpKind::Maximum:
+    return Args[0] > Args[1] ? Args[0] : Args[1];
+  case OpKind::Minimum:
+    return Args[0] < Args[1] ? Args[0] : Args[1];
+  case OpKind::Greater:
+    return Args[0] > Args[1] ? 1.0f : 0.0f;
+  case OpKind::Equal:
+    return Args[0] == Args[1] ? 1.0f : 0.0f;
+  case OpKind::PRelu:
+    return Args[0] >= 0.0f ? Args[0] : Args[1] * Args[0];
+  case OpKind::Where:
+    return Args[0] != 0.0f ? Args[1] : Args[2];
+  case OpKind::Relu:
+    return X > 0.0f ? X : 0.0f;
+  case OpKind::LeakyRelu:
+    return X >= 0.0f ? X : P.A * X;
+  case OpKind::Sigmoid:
+    return 1.0f / (1.0f + std::exp(-X));
+  case OpKind::Tanh:
+    return std::tanh(X);
+  case OpKind::Softplus:
+    return X > 20.0f ? X : std::log1p(std::exp(X));
+  case OpKind::Exp:
+    return std::exp(X);
+  case OpKind::Log:
+    return std::log(X);
+  case OpKind::Sqrt:
+    return std::sqrt(X);
+  case OpKind::Reciprocal:
+    return 1.0f / X;
+  case OpKind::Abs:
+    return std::fabs(X);
+  case OpKind::Square:
+    return X * X;
+  case OpKind::Erf:
+    return std::erf(X);
+  case OpKind::Neg:
+    return -X;
+  case OpKind::Ceil:
+    return std::ceil(X);
+  case OpKind::Floor:
+    return std::floor(X);
+  case OpKind::Round:
+    return std::nearbyint(X);
+  case OpKind::Clip:
+    return X < P.A ? P.A : (X > P.B ? P.B : X);
+  case OpKind::Sin:
+    return std::sin(X);
+  case OpKind::Cos:
+    return std::cos(X);
+  case OpKind::Asin:
+    return std::asin(X);
+  case OpKind::Not:
+    return X == 0.0f ? 1.0f : 0.0f;
+  case OpKind::Cast:
+    return P.A != 0.0f ? std::trunc(X) : X;
+  case OpKind::BitShift:
+    return X * P.A;
+  case OpKind::Identity:
+    return X;
+  case OpKind::BatchNormalization: {
+    // Args = {x, scale, bias, mean, var}; epsilon in P.A.
+    float Inv = 1.0f / std::sqrt(Args[4] + P.A);
+    return Args[1] * (Args[0] - Args[3]) * Inv + Args[2];
+  }
+  default:
+    reportFatalErrorf("evalScalarOp: %s is not elementwise", opKindName(Kind));
+  }
+}
+
+void dnnfusion::evalElementwiseChunk(OpKind Kind, const ScalarParams &P,
+                                     const float *const *Args, int NumArgs,
+                                     float *Out, int64_t Count) {
+  const float *A = Args[0];
+  const float *B = NumArgs > 1 ? Args[1] : nullptr;
+  switch (Kind) {
+  case OpKind::Add:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] + B[I];
+    return;
+  case OpKind::Sub:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] - B[I];
+    return;
+  case OpKind::Mul:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] * B[I];
+    return;
+  case OpKind::Div:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] / B[I];
+    return;
+  case OpKind::Relu:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] > 0.0f ? A[I] : 0.0f;
+    return;
+  case OpKind::LeakyRelu:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] >= 0.0f ? A[I] : P.A * A[I];
+    return;
+  case OpKind::Square:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I] * A[I];
+    return;
+  case OpKind::Reciprocal:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = 1.0f / A[I];
+    return;
+  case OpKind::Identity:
+    for (int64_t I = 0; I < Count; ++I)
+      Out[I] = A[I];
+    return;
+  default: {
+    float Buf[8];
+    for (int64_t I = 0; I < Count; ++I) {
+      for (int J = 0; J < NumArgs; ++J)
+        Buf[J] = Args[J][I];
+      Out[I] = evalScalarOp(Kind, Buf, P);
+    }
+    return;
+  }
+  }
+}

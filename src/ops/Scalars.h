@@ -1,0 +1,46 @@
+//===- ops/Scalars.h - Per-element operator semantics ------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar semantics of every elementwise operator, shared between the
+/// materializing reference kernels and the fused-block evaluator so both
+/// executors compute bit-identical values (the fused-vs-unfused equivalence
+/// property tests rely on this single source of truth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_OPS_SCALARS_H
+#define DNNFUSION_OPS_SCALARS_H
+
+#include "ops/Attributes.h"
+#include "ops/OpKind.h"
+
+namespace dnnfusion {
+
+/// Pre-resolved numeric attributes of an elementwise operator (LeakyRelu
+/// alpha, Clip bounds, the BitShift scale factor, BatchNorm epsilon...).
+struct ScalarParams {
+  float A = 0.0f;
+  float B = 0.0f;
+};
+
+/// Resolves \p Attrs into the parameters evalScalarOp consumes.
+ScalarParams resolveScalarParams(OpKind Kind, const AttrMap &Attrs);
+
+/// Evaluates elementwise operator \p Kind on \p Args (arity: unary 1,
+/// binary 2, Where 3, BatchNormalization 5 = {x, scale, bias, mean, var}).
+float evalScalarOp(OpKind Kind, const float *Args, const ScalarParams &P);
+
+/// Evaluates \p Kind over \p Count elements: Out[i] = op(Args[0][i],
+/// Args[1][i], ...). Hot operators get tight specialized loops; the rest
+/// fall back to evalScalarOp per element.
+void evalElementwiseChunk(OpKind Kind, const ScalarParams &P,
+                          const float *const *Args, int NumArgs, float *Out,
+                          int64_t Count);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_OPS_SCALARS_H

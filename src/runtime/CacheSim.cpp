@@ -1,0 +1,142 @@
+//===- runtime/CacheSim.cpp - Cache and TLB simulation ---------------------------===//
+
+#include "runtime/CacheSim.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+CacheSim::CacheSim(std::vector<CacheLevelConfig> LevelConfigs)
+    : Levels(std::move(LevelConfigs)) {
+  for (const CacheLevelConfig &C : Levels) {
+    Level L;
+    L.Assoc = C.Associativity;
+    L.LineBytes = C.LineBytes;
+    L.NumSets = std::max<int64_t>(1, C.SizeBytes / (C.LineBytes * C.Associativity));
+    L.Sets.assign(static_cast<size_t>(L.NumSets), {});
+    State.push_back(std::move(L));
+    MissCount.push_back(0);
+    AccessCount.push_back(0);
+  }
+}
+
+bool CacheSim::probe(Level &L, uint64_t Addr) {
+  uint64_t Line = Addr / static_cast<uint64_t>(L.LineBytes);
+  uint64_t Set = Line % static_cast<uint64_t>(L.NumSets);
+  uint64_t Tag = Line / static_cast<uint64_t>(L.NumSets);
+  std::vector<uint64_t> &Ways = L.Sets[static_cast<size_t>(Set)];
+  for (size_t I = 0; I < Ways.size(); ++I) {
+    if (Ways[I] == Tag) {
+      // Move to MRU position.
+      Ways.erase(Ways.begin() + static_cast<long>(I));
+      Ways.insert(Ways.begin(), Tag);
+      return true;
+    }
+  }
+  Ways.insert(Ways.begin(), Tag);
+  if (static_cast<int>(Ways.size()) > L.Assoc)
+    Ways.pop_back();
+  return false;
+}
+
+void CacheSim::access(uint64_t Addr, int64_t Bytes) {
+  if (Bytes <= 0)
+    return;
+  int Line0 = State.empty() ? 64 : State[0].LineBytes;
+  uint64_t First = Addr / static_cast<uint64_t>(Line0);
+  uint64_t Last = (Addr + static_cast<uint64_t>(Bytes) - 1) /
+                  static_cast<uint64_t>(Line0);
+  for (uint64_t L = First; L <= Last; ++L) {
+    uint64_t LineAddr = L * static_cast<uint64_t>(Line0);
+    for (size_t Lvl = 0; Lvl < State.size(); ++Lvl) {
+      ++AccessCount[Lvl];
+      if (probe(State[Lvl], LineAddr))
+        break;
+      ++MissCount[Lvl];
+    }
+  }
+}
+
+std::vector<CacheLevelConfig> dnnfusion::mobileCpuCacheConfig() {
+  // Kryo 585-like geometry: 64KB L1D, 512KB L2, 4MB shared L3.
+  return {{"L1", 64 * 1024, 4, 64},
+          {"L2", 512 * 1024, 8, 64},
+          {"L3", 4 * 1024 * 1024, 16, 64}};
+}
+
+std::vector<CacheLevelConfig> dnnfusion::mobileGpuCacheConfig() {
+  // Adreno 650-like: small L1, 1MB L2, no L3.
+  return {{"L1", 32 * 1024, 4, 64}, {"L2", 1024 * 1024, 8, 64}};
+}
+
+std::vector<CacheLevelConfig> dnnfusion::mobileCpuTlbConfig() {
+  // 4KB pages; 48-entry L1 TLB, 1024-entry L2 TLB.
+  return {{"L1-TLB", 48 * 4096, 48, 4096}, {"L2-TLB", 1024 * 4096, 8, 4096}};
+}
+
+void dnnfusion::simulateModelTraffic(const CompiledModel &Model,
+                                     CacheSim &Cache) {
+  const MemoryPlan &Mem = Model.Memory;
+  auto regionAddr = [&](NodeId Id) -> uint64_t {
+    const Node &N = Model.G.node(Id);
+    if (N.Kind == OpKind::Input)
+      return InputRegionBase +
+             static_cast<uint64_t>(
+                 Mem.InputOffsetOfNode[static_cast<size_t>(Id)]);
+    if (N.Kind == OpKind::Constant)
+      return WeightRegionBase +
+             static_cast<uint64_t>(
+                 Mem.WeightOffsetOfNode[static_cast<size_t>(Id)]);
+    int64_t Offset = Mem.ArenaOffsetOfNode[static_cast<size_t>(Id)];
+    DNNF_CHECK(Offset >= 0, "traffic sim: node %d has no buffer", Id);
+    return ArenaRegionBase + static_cast<uint64_t>(Offset);
+  };
+
+  for (size_t BI = 0; BI < Model.Blocks.size(); ++BI) {
+    const CompiledBlock &CB = Model.Blocks[BI];
+    // Each step reads its sources and writes its destination. Block-local
+    // scratch is excluded: on hardware those values are the register- and
+    // tile-resident intermediates fusion was introduced to keep out of the
+    // memory system (the device model charges them against cache
+    // bandwidth separately).
+    auto slotAddrBytes = [&](int Slot, uint64_t &Addr, int64_t &Bytes,
+                             bool &IsScratch) {
+      IsScratch = false;
+      if (Slot < static_cast<int>(CB.ExternalInputs.size())) {
+        NodeId Id = CB.ExternalInputs[static_cast<size_t>(Slot)];
+        Addr = regionAddr(Id);
+        Bytes = Model.G.node(Id).outBytes();
+        return;
+      }
+      size_t L = static_cast<size_t>(Slot) - CB.ExternalInputs.size();
+      if (!CB.Locals[L].IsBlockOutput) {
+        IsScratch = true;
+        return;
+      }
+      Addr = regionAddr(CB.Locals[L].Node);
+      Bytes = CB.Locals[L].Sh.numElements() * 4;
+    };
+    auto touch = [&](int Slot) {
+      uint64_t Addr;
+      int64_t Bytes;
+      bool IsScratch;
+      slotAddrBytes(Slot, Addr, Bytes, IsScratch);
+      if (!IsScratch)
+        Cache.access(Addr, Bytes);
+    };
+
+    for (const CompiledStep &Step : CB.Steps) {
+      if (Step.K == CompiledStep::Kind::Expression) {
+        for (const DftNode &N : Step.Tree.Nodes)
+          if (N.K == DftNode::Kind::Leaf)
+            touch(N.BufferSlot);
+      } else {
+        for (int Slot : Step.InputSlots)
+          touch(Slot);
+      }
+      touch(Step.OutputSlot);
+    }
+  }
+}

@@ -1,0 +1,97 @@
+//===- runtime/Executor.cpp - Model execution ------------------------------------===//
+
+#include "runtime/Executor.h"
+
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <cstring>
+
+using namespace dnnfusion;
+
+Executor::Executor(const CompiledModel &Model) : M(Model) {
+  Arena.resize(static_cast<size_t>(M.Memory.ArenaBytes / 4 + 1));
+  Scratch.resize(static_cast<size_t>(M.Memory.ScratchBytes / 4 + 1));
+}
+
+std::vector<Tensor> Executor::run(const std::vector<Tensor> &Inputs,
+                                  ExecutionStats *Stats,
+                                  bool PerBlockTiming) {
+  DNNF_CHECK(Inputs.size() == M.InputIds.size(),
+             "expected %zu inputs, got %zu", M.InputIds.size(), Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    DNNF_CHECK(Inputs[I].shape() == M.G.node(M.InputIds[I]).OutShape,
+               "input %zu shape %s does not match model shape %s", I,
+               Inputs[I].shape().toString().c_str(),
+               M.G.node(M.InputIds[I]).OutShape.toString().c_str());
+
+  // Resolve the buffer backing a node's value.
+  auto valuePtr = [&](NodeId Id) -> const float * {
+    const Node &N = M.G.node(Id);
+    if (N.Kind == OpKind::Constant)
+      return N.ConstValue.data();
+    if (N.Kind == OpKind::Input) {
+      for (size_t I = 0; I < M.InputIds.size(); ++I)
+        if (M.InputIds[I] == Id)
+          return Inputs[I].data();
+      reportFatalErrorf("input node %d not bound", Id);
+    }
+    int64_t Offset = M.Memory.ArenaOffsetOfNode[static_cast<size_t>(Id)];
+    DNNF_CHECK(Offset >= 0, "node %d has no arena buffer", Id);
+    return Arena.data() + Offset / 4;
+  };
+
+  WallTimer Total;
+  WallTimer BlockTimer;
+  if (Stats) {
+    *Stats = ExecutionStats();
+    Stats->PeakArenaBytes = M.Memory.ArenaBytes;
+  }
+
+  for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
+    const CompiledBlock &CB = M.Blocks[BI];
+    BlockIo Io;
+    Io.Externals.reserve(CB.ExternalInputs.size());
+    for (NodeId In : CB.ExternalInputs)
+      Io.Externals.push_back(valuePtr(In));
+    Io.LocalPtrs.reserve(CB.Locals.size());
+    int64_t ScratchCursor = 0;
+    for (const CompiledBlock::LocalBuffer &L : CB.Locals) {
+      if (L.IsBlockOutput) {
+        int64_t Offset =
+            M.Memory.ArenaOffsetOfNode[static_cast<size_t>(L.Node)];
+        DNNF_CHECK(Offset >= 0, "block output %d has no arena slot", L.Node);
+        Io.LocalPtrs.push_back(Arena.data() + Offset / 4);
+      } else {
+        Io.LocalPtrs.push_back(Scratch.data() + ScratchCursor / 4);
+        ScratchCursor += L.Sh.numElements() * 4;
+      }
+    }
+    DNNF_CHECK(ScratchCursor <= M.Memory.ScratchBytes,
+               "scratch overflow in block %zu", BI);
+
+    if (PerBlockTiming)
+      BlockTimer.reset();
+    executeBlock(CB, Io, M.Codegen);
+    if (Stats) {
+      if (PerBlockTiming)
+        Stats->PerBlockMs.push_back(BlockTimer.millis());
+      ++Stats->KernelLaunches;
+      Stats->Flops += M.BlockFlops[BI];
+      Stats->MainBytesRead += M.BlockBytesRead[BI];
+      Stats->MainBytesWritten += M.BlockBytesWritten[BI];
+      Stats->ScratchBytes += M.BlockScratchBytes[BI];
+    }
+  }
+
+  if (Stats)
+    Stats->WallMs = Total.millis();
+
+  std::vector<Tensor> Outputs;
+  for (NodeId Out : M.G.outputs()) {
+    Tensor T(M.G.node(Out).OutShape);
+    std::memcpy(T.data(), valuePtr(Out), T.byteSize());
+    Outputs.push_back(std::move(T));
+  }
+  return Outputs;
+}

@@ -1,0 +1,62 @@
+//===- runtime/Executor.h - Model execution -------------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a CompiledModel: walks fusion blocks in plan order, binding
+/// external inputs, weights, arena buffers, and per-block scratch, and
+/// collects the instrumentation counters every experiment consumes (kernel
+/// launches, FLOPs, main-memory traffic, peak footprint, wall time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_RUNTIME_EXECUTOR_H
+#define DNNFUSION_RUNTIME_EXECUTOR_H
+
+#include "runtime/ModelCompiler.h"
+#include "tensor/Tensor.h"
+
+#include <map>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Counters from one model execution.
+struct ExecutionStats {
+  int64_t KernelLaunches = 0;
+  int64_t Flops = 0;
+  /// Main-arena traffic: block external reads / output writes.
+  int64_t MainBytesRead = 0;
+  int64_t MainBytesWritten = 0;
+  /// Block-local scratch traffic (stays cache-resident on hardware).
+  int64_t ScratchBytes = 0;
+  int64_t PeakArenaBytes = 0;
+  double WallMs = 0.0;
+  /// Wall time per block (filled when PerBlockTiming is requested).
+  std::vector<double> PerBlockMs;
+};
+
+/// Executes one CompiledModel. Reusable across runs (buffers persist).
+class Executor {
+public:
+  explicit Executor(const CompiledModel &Model);
+
+  /// Runs the model on \p Inputs (one tensor per graph input, in
+  /// InputIds order). Returns the graph outputs in graph-output order.
+  std::vector<Tensor> run(const std::vector<Tensor> &Inputs,
+                          ExecutionStats *Stats = nullptr,
+                          bool PerBlockTiming = false);
+
+  const CompiledModel &model() const { return M; }
+
+private:
+  const CompiledModel &M;
+  std::vector<float> Arena;
+  std::vector<float> Scratch;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_RUNTIME_EXECUTOR_H

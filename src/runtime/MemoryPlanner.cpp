@@ -1,0 +1,94 @@
+//===- runtime/MemoryPlanner.cpp - Liveness-based buffer planning ---------------===//
+
+#include "runtime/MemoryPlanner.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace dnnfusion;
+
+MemoryPlan dnnfusion::planMemory(const Graph &G, const FusionPlan &Plan,
+                                 const std::vector<CompiledBlock> &Blocks) {
+  MemoryPlan M;
+  size_t N = static_cast<size_t>(G.numNodes());
+  M.ArenaOffsetOfNode.assign(N, -1);
+  M.InputOffsetOfNode.assign(N, -1);
+  M.WeightOffsetOfNode.assign(N, -1);
+
+  // Inputs and weights get fixed offsets in their own regions.
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &Nd = G.node(Id);
+    if (Nd.Dead)
+      continue;
+    if (Nd.Kind == OpKind::Input) {
+      M.InputOffsetOfNode[static_cast<size_t>(Id)] = M.InputBytes;
+      M.InputBytes += Nd.outBytes();
+    } else if (Nd.Kind == OpKind::Constant) {
+      M.WeightOffsetOfNode[static_cast<size_t>(Id)] = M.WeightBytes;
+      M.WeightBytes += Nd.outBytes();
+    }
+  }
+
+  // Liveness of block outputs: last block that reads them (graph outputs
+  // live forever).
+  std::vector<int> LastUse(N, -1);
+  for (size_t BI = 0; BI < Plan.Blocks.size(); ++BI)
+    for (NodeId Id : Plan.Blocks[BI].Members)
+      for (NodeId In : G.node(Id).Inputs)
+        LastUse[static_cast<size_t>(In)] =
+            std::max(LastUse[static_cast<size_t>(In)], static_cast<int>(BI));
+  for (NodeId Out : G.outputs())
+    LastUse[static_cast<size_t>(Out)] =
+        static_cast<int>(Plan.Blocks.size());
+
+  struct Allocation {
+    int64_t Offset;
+    int64_t Bytes;
+    int FreeAfterBlock;
+  };
+  std::vector<Allocation> Live;
+
+  auto allocate = [&](int64_t Bytes, int FreeAfterBlock) {
+    // First-fit into gaps between live allocations (kept offset-sorted).
+    int64_t Offset = 0;
+    size_t InsertAt = 0;
+    for (size_t I = 0; I <= Live.size(); ++I) {
+      int64_t GapEnd = I < Live.size()
+                           ? Live[I].Offset
+                           : std::numeric_limits<int64_t>::max();
+      if (GapEnd - Offset >= Bytes) {
+        InsertAt = I;
+        break;
+      }
+      Offset = Live[I].Offset + Live[I].Bytes;
+      InsertAt = I + 1;
+    }
+    Live.insert(Live.begin() + static_cast<long>(InsertAt),
+                Allocation{Offset, Bytes, FreeAfterBlock});
+    M.ArenaBytes = std::max(M.ArenaBytes, Offset + Bytes);
+    return Offset;
+  };
+
+  for (size_t BI = 0; BI < Plan.Blocks.size(); ++BI) {
+    // Release buffers whose last consumer has executed.
+    Live.erase(std::remove_if(Live.begin(), Live.end(),
+                              [&](const Allocation &A) {
+                                return A.FreeAfterBlock <
+                                       static_cast<int>(BI);
+                              }),
+               Live.end());
+    for (NodeId Out : Plan.Blocks[BI].Outputs) {
+      int Free = LastUse[static_cast<size_t>(Out)];
+      DNNF_CHECK(Free >= static_cast<int>(BI),
+                 "block output %d has no consumer and is not a graph output",
+                 Out);
+      M.ArenaOffsetOfNode[static_cast<size_t>(Out)] =
+          allocate(G.node(Out).outBytes(), Free);
+    }
+    M.ScratchBytes =
+        std::max(M.ScratchBytes, Blocks[BI].scratchBytes());
+  }
+  return M;
+}

@@ -1,0 +1,169 @@
+//===- runtime/ModelCompiler.cpp - End-to-end compilation -----------------------===//
+
+#include "runtime/ModelCompiler.h"
+
+#include "ops/OpSchema.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dnnfusion;
+
+int64_t CompiledModel::totalFlops() const {
+  int64_t Total = 0;
+  for (int64_t F : BlockFlops)
+    Total += F;
+  return Total;
+}
+
+int dnnfusion::mergeMovementBlocks(const Graph &G, FusionPlan &Plan) {
+  // A pure data-movement block with a single producing block merges into
+  // that producer: the movement becomes index arithmetic on the producer's
+  // output expression, eliminating both the kernel launch and the copy.
+  int Merges = 0;
+  std::vector<std::vector<NodeId>> Groups;
+  std::vector<int> GroupOf(static_cast<size_t>(G.numNodes()), -1);
+  for (const FusionBlock &B : Plan.Blocks) {
+    for (NodeId Id : B.Members)
+      GroupOf[static_cast<size_t>(Id)] = static_cast<int>(Groups.size());
+    Groups.push_back(B.Members);
+  }
+
+  // Union-find over group indices.
+  std::vector<int> Parent(Groups.size());
+  for (size_t I = 0; I < Parent.size(); ++I)
+    Parent[I] = static_cast<int>(I);
+  std::function<int(int)> Find = [&](int X) {
+    while (Parent[static_cast<size_t>(X)] != X)
+      X = Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+    return X;
+  };
+
+  for (size_t BI = 0; BI < Plan.Blocks.size(); ++BI) {
+    const FusionBlock &B = Plan.Blocks[BI];
+    bool AllMovement = true;
+    for (NodeId Id : B.Members)
+      AllMovement &= isFoldableMovementOp(G.node(Id).Kind);
+    if (!AllMovement)
+      continue;
+    // Every external producer must be a constant/input or live in one
+    // producing block; single-input movement chains guarantee this.
+    int ProducerGroup = -1;
+    bool Mergeable = true;
+    for (NodeId Ext : B.ExternalInputs) {
+      const Node &P = G.node(Ext);
+      if (P.Kind == OpKind::Input || P.Kind == OpKind::Constant)
+        continue;
+      int PG = Find(GroupOf[static_cast<size_t>(Ext)]);
+      if (ProducerGroup < 0)
+        ProducerGroup = PG;
+      else if (ProducerGroup != PG)
+        Mergeable = false;
+    }
+    if (!Mergeable || ProducerGroup < 0 ||
+        ProducerGroup == Find(static_cast<int>(BI)))
+      continue;
+    // Merge this movement block into its producer group.
+    int Self = Find(static_cast<int>(BI));
+    Parent[static_cast<size_t>(Self)] = ProducerGroup;
+    ++Merges;
+  }
+
+  if (Merges == 0)
+    return 0;
+
+  std::vector<std::vector<NodeId>> Merged(Groups.size());
+  for (size_t I = 0; I < Groups.size(); ++I) {
+    int Root = Find(static_cast<int>(I));
+    auto &Dst = Merged[static_cast<size_t>(Root)];
+    Dst.insert(Dst.end(), Groups[I].begin(), Groups[I].end());
+  }
+  std::vector<std::vector<NodeId>> Compacted;
+  for (auto &Group : Merged)
+    if (!Group.empty())
+      Compacted.push_back(std::move(Group));
+  Plan = planFromGroups(G, Compacted);
+  return Merges;
+}
+
+namespace {
+
+/// Shared tail of compilation: codegen, memory planning, stat tables.
+void finishCompilation(CompiledModel &M, Graph &G) {
+  WallTimer Timer;
+  M.Blocks.reserve(M.Plan.Blocks.size());
+  for (const FusionBlock &B : M.Plan.Blocks)
+    M.Blocks.push_back(compileBlock(G, B, M.Codegen));
+  M.CodegenMs = Timer.millis();
+
+  M.Memory = planMemory(G, M.Plan, M.Blocks);
+
+  for (size_t BI = 0; BI < M.Plan.Blocks.size(); ++BI) {
+    const FusionBlock &B = M.Plan.Blocks[BI];
+    int64_t Flops = 0;
+    for (NodeId Id : B.Members) {
+      const Node &N = G.node(Id);
+      Flops += flopCount(N.Kind, N.Attrs, G.inputShapes(Id), N.OutShape);
+    }
+    int64_t Read = 0, Written = 0;
+    for (NodeId In : B.ExternalInputs)
+      Read += G.node(In).outBytes();
+    for (NodeId Out : B.Outputs)
+      Written += G.node(Out).outBytes();
+    M.BlockFlops.push_back(Flops);
+    M.BlockBytesRead.push_back(Read);
+    M.BlockBytesWritten.push_back(Written);
+    M.BlockScratchBytes.push_back(M.Blocks[BI].scratchBytes());
+  }
+
+  for (int Id = 0; Id < G.numNodes(); ++Id)
+    if (!G.node(Id).Dead && G.node(Id).Kind == OpKind::Input)
+      M.InputIds.push_back(Id);
+
+  M.G = std::move(G);
+}
+
+} // namespace
+
+CompiledModel dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
+                                              const CodegenOptions &Codegen) {
+  CompiledModel M;
+  M.Plan = std::move(Plan);
+  M.Codegen = Codegen;
+  finishCompilation(M, G);
+  return M;
+}
+
+CompiledModel dnnfusion::compileModel(Graph G, const CompileOptions &Options,
+                                      LatencyOracle *Oracle) {
+  CompiledModel M;
+  WallTimer Timer;
+
+  if (Options.EnableGraphRewriting) {
+    Timer.reset();
+    M.RewriteInfo = rewriteGraph(G, Options.Rewrite);
+    M.RewriteMs = Timer.millis();
+  }
+
+  Timer.reset();
+  if (Options.EnableFusion) {
+    M.Plan = planFusion(G, Oracle, Options.Planner, &M.PlannerInfo);
+    if (Options.EnableOtherOpts)
+      mergeMovementBlocks(G, M.Plan);
+  } else {
+    M.Plan = planNoFusion(G);
+  }
+  M.FusionPlanMs = Timer.millis();
+
+  M.Codegen = Options.Codegen;
+  if (!Options.EnableOtherOpts) {
+    // Figure 7's "Other" bundle off: data movement stays materialized and
+    // shared subtrees are recomputed rather than cached.
+    M.Codegen.FoldDataMovement = false;
+  }
+  finishCompilation(M, G);
+  return M;
+}

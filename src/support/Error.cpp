@@ -1,0 +1,43 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dnnfusion;
+
+static std::string vformatToString(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed < 0)
+    return std::string(Fmt);
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+void dnnfusion::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "dnnfusion fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void dnnfusion::reportFatalErrorf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Message = vformatToString(Fmt, Args);
+  va_end(Args);
+  reportFatalError(Message);
+}
+
+std::string dnnfusion::detail::formatCheckMessage(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Message = vformatToString(Fmt, Args);
+  va_end(Args);
+  return Message;
+}

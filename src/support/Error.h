@@ -1,0 +1,50 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error handling for the library. Following the "no exceptions"
+/// discipline, unrecoverable conditions print a message and abort; callers
+/// that can recover use Expected-style return values instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_ERROR_H
+#define DNNFUSION_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace dnnfusion {
+
+/// Prints \p Message to stderr and aborts. Never returns.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// printf-style variant of reportFatalError.
+[[noreturn]] void reportFatalErrorf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dnnfusion
+
+/// Checks \p Cond in all build modes (unlike assert) and aborts with the
+/// formatted message on failure. Use for conditions that depend on user
+/// input (graph construction, attribute values) rather than internal
+/// invariants.
+#define DNNF_CHECK(Cond, ...)                                                  \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::dnnfusion::reportFatalErrorf("check failed: %s: %s", #Cond,            \
+                                     ::dnnfusion::detail::formatCheckMessage(  \
+                                         __VA_ARGS__)                          \
+                                         .c_str());                            \
+  } while (false)
+
+namespace dnnfusion {
+namespace detail {
+std::string formatCheckMessage(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_ERROR_H

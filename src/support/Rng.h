@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. All randomness in the library (weight
+/// initialization, property-test sweeps, the genetic auto-tuner) flows
+/// through this class so every experiment is reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_RNG_H
+#define DNNFUSION_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace dnnfusion {
+
+/// Deterministic 64-bit RNG (SplitMix64). Cheap, seedable, and portable
+/// across platforms, unlike std::mt19937 distributions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [Lo, Hi).
+  float nextFloatInRange(float Lo, float Hi) {
+    return Lo + (Hi - Lo) * nextFloat();
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool nextBool(float P = 0.5f) { return nextFloat() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_RNG_H

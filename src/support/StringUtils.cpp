@@ -1,0 +1,93 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+
+#include "support/StringUtils.h"
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dnnfusion;
+
+std::string dnnfusion::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed < 0) {
+    va_end(Args);
+    return std::string(Fmt);
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string> dnnfusion::splitString(const std::string &S,
+                                                char Sep) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Pieces.push_back(S.substr(Start));
+      return Pieces;
+    }
+    Pieces.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string dnnfusion::joinStrings(const std::vector<std::string> &Pieces,
+                                   const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+std::string dnnfusion::trimString(const std::string &S) {
+  size_t Begin = S.find_first_not_of(" \t\r\n");
+  if (Begin == std::string::npos)
+    return "";
+  size_t End = S.find_last_not_of(" \t\r\n");
+  return S.substr(Begin, End - Begin + 1);
+}
+
+std::string dnnfusion::intsToString(const std::vector<int64_t> &Values) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += formatString("%lld", static_cast<long long>(Values[I]));
+  }
+  Out += "]";
+  return Out;
+}
+
+std::vector<int64_t> dnnfusion::parseIntList(const std::string &S) {
+  std::string Body = trimString(S);
+  if (!Body.empty() && Body.front() == '[')
+    Body = Body.substr(1);
+  if (!Body.empty() && Body.back() == ']')
+    Body.pop_back();
+  std::vector<int64_t> Values;
+  if (trimString(Body).empty())
+    return Values;
+  for (const std::string &Piece : splitString(Body, ',')) {
+    std::string T = trimString(Piece);
+    DNNF_CHECK(!T.empty(), "empty element in int list '%s'", S.c_str());
+    char *End = nullptr;
+    long long V = std::strtoll(T.c_str(), &End, 10);
+    DNNF_CHECK(End && *End == '\0', "malformed integer '%s'", T.c_str());
+    Values.push_back(V);
+  }
+  return Values;
+}

@@ -1,0 +1,54 @@
+//===- support/TablePrinter.cpp - Aligned text tables ----------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace dnnfusion;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  DNNF_CHECK(Row.size() == Header.size(),
+             "row arity %zu does not match header arity %zu", Row.size(),
+             Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = Row[C].size() > Widths[C] ? Row[C].size() : Widths[C];
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Line += Row[C];
+      if (C + 1 != Row.size())
+        Line += std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = renderRow(Header);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(Total, '-') + '\n';
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  std::fflush(stdout);
+}

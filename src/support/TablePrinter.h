@@ -1,0 +1,43 @@
+//===- support/TablePrinter.h - Aligned text tables --------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders column-aligned text tables. Every bench binary that regenerates a
+/// table or figure from the paper prints through this class so outputs have
+/// a uniform, diffable shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_TABLEPRINTER_H
+#define DNNFUSION_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Accumulates rows of strings and renders them with per-column alignment.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Renders and writes the table to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_TABLEPRINTER_H

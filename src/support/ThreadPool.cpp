@@ -1,0 +1,89 @@
+//===- support/ThreadPool.cpp - Data-parallel helper -----------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    unsigned Hw = std::thread::hardware_concurrency();
+    NumThreads = std::min(Hw == 0 ? 1u : Hw, 8u);
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop(unsigned) {
+  while (true) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock,
+                       [this] { return ShuttingDown || !PendingTasks.empty(); });
+      if (ShuttingDown && PendingTasks.empty())
+        return;
+      T = PendingTasks.back();
+      PendingTasks.pop_back();
+    }
+    (*T.Body)(T.Begin, T.End);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Outstanding;
+      if (Outstanding == 0)
+        WakeMaster.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    int64_t Count, const std::function<void(int64_t, int64_t)> &Body) {
+  if (Count <= 0)
+    return;
+  // Small trip counts are not worth the synchronization overhead.
+  const int64_t MinPerSlice = 4096;
+  unsigned Slices = numThreads();
+  if (Slices <= 1 || Count < 2 * MinPerSlice) {
+    Body(0, Count);
+    return;
+  }
+  Slices = static_cast<unsigned>(
+      std::min<int64_t>(Slices, (Count + MinPerSlice - 1) / MinPerSlice));
+  int64_t Chunk = (Count + Slices - 1) / Slices;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (unsigned I = 0; I < Slices; ++I) {
+      int64_t Begin = static_cast<int64_t>(I) * Chunk;
+      int64_t End = std::min<int64_t>(Begin + Chunk, Count);
+      if (Begin >= End)
+        break;
+      PendingTasks.push_back(Task{&Body, Begin, End});
+      ++Outstanding;
+    }
+  }
+  WakeWorkers.notify_all();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WakeMaster.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+void dnnfusion::parallelFor(
+    int64_t Count, const std::function<void(int64_t, int64_t)> &Body) {
+  ThreadPool::global().parallelFor(Count, Body);
+}

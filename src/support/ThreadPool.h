@@ -1,0 +1,73 @@
+//===- support/ThreadPool.h - Data-parallel helper --------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool with a deterministic parallelFor: the
+/// iteration space is split into fixed per-worker slices so results (and
+/// instrumentation counters) do not depend on scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_THREADPOOL_H
+#define DNNFUSION_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnnfusion {
+
+/// A fixed-size pool of worker threads executing parallelFor slices.
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers. Zero means one worker per hardware
+  /// thread, capped at 8 to mirror the paper's 8-thread mobile CPU setup.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs \p Body(Begin, End) on disjoint slices covering [0, Count).
+  /// Deterministic: slice boundaries depend only on Count and the pool
+  /// size. Blocks until all slices finish. Calls Body inline when Count is
+  /// small or the pool has a single worker.
+  void parallelFor(int64_t Count,
+                   const std::function<void(int64_t, int64_t)> &Body);
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool &global();
+
+private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)> *Body = nullptr;
+    int64_t Begin = 0;
+    int64_t End = 0;
+  };
+
+  void workerLoop(unsigned Index);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable WakeMaster;
+  std::vector<Task> PendingTasks;
+  unsigned Outstanding = 0;
+  bool ShuttingDown = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallelFor.
+void parallelFor(int64_t Count,
+                 const std::function<void(int64_t, int64_t)> &Body);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_THREADPOOL_H

@@ -1,0 +1,51 @@
+//===- tensor/DType.h - Element types ---------------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor element types. Inference in this reproduction is float32 (the
+/// paper uses fp32 on CPU, fp16 on GPU; fp16 exists only inside the GPU
+/// device model's bandwidth math). Int32 backs index tensors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_TENSOR_DTYPE_H
+#define DNNFUSION_TENSOR_DTYPE_H
+
+#include <cstddef>
+
+namespace dnnfusion {
+
+/// Element type of a Tensor.
+enum class DType {
+  Float32,
+  Int32,
+};
+
+/// Size in bytes of one element of \p Ty.
+inline size_t dtypeSize(DType Ty) {
+  switch (Ty) {
+  case DType::Float32:
+    return 4;
+  case DType::Int32:
+    return 4;
+  }
+  return 4;
+}
+
+/// Human-readable name of \p Ty.
+inline const char *dtypeName(DType Ty) {
+  switch (Ty) {
+  case DType::Float32:
+    return "f32";
+  case DType::Int32:
+    return "i32";
+  }
+  return "?";
+}
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_TENSOR_DTYPE_H

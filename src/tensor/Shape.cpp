@@ -1,0 +1,85 @@
+//===- tensor/Shape.cpp - Tensor shapes and stride math --------------------===//
+
+#include "tensor/Shape.h"
+
+#include "support/Error.h"
+
+using namespace dnnfusion;
+
+int64_t Shape::dim(int I) const {
+  DNNF_CHECK(I >= 0 && I < rank(), "dim index %d out of range for rank %d", I,
+             rank());
+  return Dims[static_cast<size_t>(I)];
+}
+
+int64_t Shape::numElements() const {
+  int64_t N = 1;
+  for (int64_t D : Dims)
+    N *= D;
+  return N;
+}
+
+std::vector<int64_t> Shape::rowMajorStrides() const {
+  std::vector<int64_t> Strides(Dims.size(), 1);
+  for (int I = rank() - 2; I >= 0; --I)
+    Strides[static_cast<size_t>(I)] =
+        Strides[static_cast<size_t>(I) + 1] * Dims[static_cast<size_t>(I) + 1];
+  return Strides;
+}
+
+void Shape::unflatten(int64_t Flat, std::vector<int64_t> &Coords) const {
+  Coords.resize(Dims.size());
+  for (int I = rank() - 1; I >= 0; --I) {
+    int64_t D = Dims[static_cast<size_t>(I)];
+    Coords[static_cast<size_t>(I)] = Flat % D;
+    Flat /= D;
+  }
+}
+
+int64_t Shape::flatten(const std::vector<int64_t> &Coords) const {
+  DNNF_CHECK(Coords.size() == Dims.size(),
+             "coordinate rank %zu does not match shape rank %zu", Coords.size(),
+             Dims.size());
+  int64_t Flat = 0;
+  for (size_t I = 0; I < Dims.size(); ++I)
+    Flat = Flat * Dims[I] + Coords[I];
+  return Flat;
+}
+
+std::string Shape::toString() const {
+  if (Dims.empty())
+    return "scalar";
+  std::string Out;
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I != 0)
+      Out += 'x';
+    Out += std::to_string(Dims[I]);
+  }
+  return Out;
+}
+
+bool Shape::broadcastCompatible(const Shape &A, const Shape &B) {
+  int Ra = A.rank(), Rb = B.rank();
+  int R = Ra > Rb ? Ra : Rb;
+  for (int I = 0; I < R; ++I) {
+    int64_t Da = I < Ra ? A.dim(Ra - 1 - I) : 1;
+    int64_t Db = I < Rb ? B.dim(Rb - 1 - I) : 1;
+    if (Da != Db && Da != 1 && Db != 1)
+      return false;
+  }
+  return true;
+}
+
+Shape Shape::broadcast(const Shape &A, const Shape &B) {
+  DNNF_CHECK(broadcastCompatible(A, B), "shapes %s and %s do not broadcast",
+             A.toString().c_str(), B.toString().c_str());
+  int Ra = A.rank(), Rb = B.rank();
+  int R = Ra > Rb ? Ra : Rb;
+  std::vector<int64_t> Dims(static_cast<size_t>(R));
+  for (int I = 0; I < R; ++I) {
+    int64_t Da = I < Ra ? A.dim(Ra - 1 - I) : 1;
+    int64_t Db = I < Rb ? B.dim(Rb - 1 - I) : 1;
+    Dims[static_cast<size_t>(R - 1 - I)] = Da > Db ? Da : Db;
+  }
+  return Shape(std::move(Dims));
+}

@@ -1,0 +1,66 @@
+//===- tensor/Shape.h - Tensor shapes and stride math -----------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shape: an ordered list of dimension extents plus the coordinate/stride
+/// arithmetic the fusion code generator builds its index maps from
+/// (row-major strides, broadcasting, flat-index encode/decode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_TENSOR_SHAPE_H
+#define DNNFUSION_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+/// An immutable-by-convention list of dimension extents. A rank-0 Shape is
+/// a scalar with one element.
+class Shape {
+public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> Dims) : Dims(Dims) {}
+  explicit Shape(std::vector<int64_t> Dims) : Dims(std::move(Dims)) {}
+
+  int rank() const { return static_cast<int>(Dims.size()); }
+  int64_t dim(int I) const;
+  const std::vector<int64_t> &dims() const { return Dims; }
+
+  /// Product of all extents (1 for a scalar).
+  int64_t numElements() const;
+
+  /// Row-major (C-order) strides, in elements.
+  std::vector<int64_t> rowMajorStrides() const;
+
+  /// Decodes flat row-major index \p Flat into coordinates \p Coords
+  /// (resized to rank()).
+  void unflatten(int64_t Flat, std::vector<int64_t> &Coords) const;
+
+  /// Encodes \p Coords into a flat row-major index.
+  int64_t flatten(const std::vector<int64_t> &Coords) const;
+
+  bool operator==(const Shape &Other) const { return Dims == Other.Dims; }
+  bool operator!=(const Shape &Other) const { return Dims != Other.Dims; }
+
+  /// "2x3x4" rendering ("scalar" for rank 0).
+  std::string toString() const;
+
+  /// Numpy-style broadcast of two shapes; aborts if incompatible.
+  static Shape broadcast(const Shape &A, const Shape &B);
+
+  /// True when \p A and \p B broadcast together (numpy rules).
+  static bool broadcastCompatible(const Shape &A, const Shape &B);
+
+private:
+  std::vector<int64_t> Dims;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_TENSOR_SHAPE_H

@@ -1,0 +1,45 @@
+//===- tensor/Tensor.cpp - Dense tensors ------------------------------------===//
+
+#include "tensor/Tensor.h"
+
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace dnnfusion;
+
+Tensor::Tensor(Shape S, DType Ty)
+    : TensorShape(std::move(S)), Ty(Ty),
+      Storage(new float[static_cast<size_t>(TensorShape.numElements())],
+              std::default_delete<float[]>()) {}
+
+Tensor Tensor::full(const Shape &S, float Value) {
+  Tensor T(S);
+  for (int64_t I = 0, E = T.numElements(); I < E; ++I)
+    T.at(I) = Value;
+  return T;
+}
+
+Tensor Tensor::zeros(const Shape &S) {
+  Tensor T(S);
+  std::memset(T.data(), 0, T.byteSize());
+  return T;
+}
+
+Tensor Tensor::borrow(float *Data, Shape S) {
+  Tensor View;
+  View.TensorShape = std::move(S);
+  View.Storage = std::shared_ptr<float[]>(Data, [](float *) {});
+  return View;
+}
+
+Tensor Tensor::reshaped(const Shape &NewShape) const {
+  DNNF_CHECK(NewShape.numElements() == numElements(),
+             "reshape from %s to %s changes element count",
+             TensorShape.toString().c_str(), NewShape.toString().c_str());
+  Tensor View;
+  View.TensorShape = NewShape;
+  View.Ty = Ty;
+  View.Storage = Storage;
+  return View;
+}

@@ -1,0 +1,79 @@
+//===- tensor/Tensor.h - Dense tensors ---------------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense row-major tensor with shared-ownership storage. Storage sharing
+/// lets Reorganize operators (Reshape/Flatten/Squeeze/Unsqueeze) alias their
+/// input in the reference executor, exactly as the paper assumes when it
+/// calls them "data movement free" once folded into index arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_TENSOR_TENSOR_H
+#define DNNFUSION_TENSOR_TENSOR_H
+
+#include "tensor/DType.h"
+#include "tensor/Shape.h"
+
+#include <memory>
+
+namespace dnnfusion {
+
+/// A dense, contiguous, row-major tensor.
+class Tensor {
+public:
+  /// An empty (null) tensor.
+  Tensor() = default;
+
+  /// Allocates uninitialized storage for \p Shape of \p Ty.
+  explicit Tensor(Shape Shape, DType Ty = DType::Float32);
+
+  /// Allocates storage and fills it with \p Value.
+  static Tensor full(const Shape &Shape, float Value);
+
+  /// Allocates zero-initialized storage.
+  static Tensor zeros(const Shape &Shape);
+
+  /// A tensor sharing this one's storage but viewed under \p NewShape.
+  /// Element counts must match.
+  Tensor reshaped(const Shape &NewShape) const;
+
+  /// A non-owning view over caller-managed memory (used by the executor to
+  /// wrap arena slices for the reference kernels). The caller must keep
+  /// \p Data alive for the view's lifetime.
+  static Tensor borrow(float *Data, Shape S);
+
+  bool isNull() const { return !Storage; }
+  const Shape &shape() const { return TensorShape; }
+  DType dtype() const { return Ty; }
+  int64_t numElements() const { return TensorShape.numElements(); }
+  size_t byteSize() const {
+    return static_cast<size_t>(numElements()) * dtypeSize(Ty);
+  }
+
+  float *data() { return Storage.get(); }
+  const float *data() const { return Storage.get(); }
+
+  /// Element access by flat row-major index (float tensors).
+  float at(int64_t Flat) const { return Storage.get()[Flat]; }
+  float &at(int64_t Flat) { return Storage.get()[Flat]; }
+
+  /// True when both tensors share the same storage allocation.
+  bool sharesStorageWith(const Tensor &Other) const {
+    return Storage && Storage == Other.Storage;
+  }
+
+private:
+  Shape TensorShape;
+  DType Ty = DType::Float32;
+  // Float storage backs Int32 too (values stored as exact small integers);
+  // keeping a single buffer type keeps every kernel monomorphic.
+  std::shared_ptr<float[]> Storage;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_TENSOR_TENSOR_H

@@ -1,0 +1,52 @@
+//===- tensor/TensorUtils.cpp - Fill and comparison helpers -----------------===//
+
+#include "tensor/TensorUtils.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace dnnfusion;
+
+void dnnfusion::fillRandom(Tensor &T, Rng &R, float Lo, float Hi) {
+  for (int64_t I = 0, E = T.numElements(); I < E; ++I)
+    T.at(I) = R.nextFloatInRange(Lo, Hi);
+}
+
+void dnnfusion::fillRandomPositive(Tensor &T, Rng &R, float Lo, float Hi) {
+  DNNF_CHECK(Lo > 0.0f, "fillRandomPositive requires Lo > 0");
+  fillRandom(T, R, Lo, Hi);
+}
+
+void dnnfusion::fillIota(Tensor &T, float Start, float Step) {
+  for (int64_t I = 0, E = T.numElements(); I < E; ++I)
+    T.at(I) = Start + Step * static_cast<float>(I);
+}
+
+float dnnfusion::maxAbsDiff(const Tensor &A, const Tensor &B) {
+  DNNF_CHECK(A.shape() == B.shape(), "shape mismatch %s vs %s",
+             A.shape().toString().c_str(), B.shape().toString().c_str());
+  float Max = 0.0f;
+  for (int64_t I = 0, E = A.numElements(); I < E; ++I) {
+    float D = std::fabs(A.at(I) - B.at(I));
+    if (D > Max)
+      Max = D;
+  }
+  return Max;
+}
+
+bool dnnfusion::allClose(const Tensor &Actual, const Tensor &Expected,
+                         float RelTol, float AbsTol) {
+  if (Actual.shape() != Expected.shape())
+    return false;
+  for (int64_t I = 0, E = Actual.numElements(); I < E; ++I) {
+    float A = Actual.at(I), X = Expected.at(I);
+    if (std::isnan(A) != std::isnan(X))
+      return false;
+    if (std::isnan(A))
+      continue;
+    if (std::fabs(A - X) > AbsTol + RelTol * std::fabs(X))
+      return false;
+  }
+  return true;
+}

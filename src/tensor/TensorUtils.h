@@ -1,0 +1,40 @@
+//===- tensor/TensorUtils.h - Fill and comparison helpers -------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for initializing tensors deterministically and comparing fused
+/// against reference outputs in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_TENSOR_TENSORUTILS_H
+#define DNNFUSION_TENSOR_TENSORUTILS_H
+
+#include "support/Rng.h"
+#include "tensor/Tensor.h"
+
+namespace dnnfusion {
+
+/// Fills \p T with uniform values in [Lo, Hi) drawn from \p R.
+void fillRandom(Tensor &T, Rng &R, float Lo = -1.0f, float Hi = 1.0f);
+
+/// Fills \p T with uniform *positive* values in [Lo, Hi); used where ops
+/// such as Sqrt/Log/Recip need a safe domain.
+void fillRandomPositive(Tensor &T, Rng &R, float Lo = 0.1f, float Hi = 1.1f);
+
+/// Fills \p T with Start, Start+Step, Start+2*Step, ...
+void fillIota(Tensor &T, float Start = 0.0f, float Step = 1.0f);
+
+/// Largest absolute elementwise difference. Tensors must match in shape.
+float maxAbsDiff(const Tensor &A, const Tensor &B);
+
+/// True when every element differs by at most AbsTol + RelTol*|expected|.
+bool allClose(const Tensor &Actual, const Tensor &Expected,
+              float RelTol = 1e-4f, float AbsTol = 1e-5f);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_TENSOR_TENSORUTILS_H

@@ -1,0 +1,82 @@
+//===- tests/TestUtils.h - Shared test helpers ---------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across the test suite: running a graph through the
+/// no-fusion reference pipeline and through the fully optimized pipeline,
+/// and comparing outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_TESTS_TESTUTILS_H
+#define DNNFUSION_TESTS_TESTUTILS_H
+
+#include "runtime/Executor.h"
+#include "runtime/ModelCompiler.h"
+#include "tensor/TensorUtils.h"
+
+#include <gtest/gtest.h>
+
+namespace dnnfusion {
+namespace testutil {
+
+/// Random inputs for every Input node of \p G (positive-safe domain so
+/// Sqrt/Log/Div stay finite).
+inline std::vector<Tensor> randomInputs(const Graph &G, uint64_t Seed,
+                                        float Lo = 0.2f, float Hi = 1.2f) {
+  Rng R(Seed);
+  std::vector<Tensor> Inputs;
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    if (!N.Dead && N.Kind == OpKind::Input) {
+      Tensor T(N.OutShape);
+      fillRandom(T, R, Lo, Hi);
+      Inputs.push_back(std::move(T));
+    }
+  }
+  return Inputs;
+}
+
+/// Runs \p G unoptimized (no rewriting, no fusion).
+inline std::vector<Tensor> runReference(const Graph &G,
+                                        const std::vector<Tensor> &Inputs) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  Opt.EnableFusion = false;
+  Opt.EnableOtherOpts = false;
+  CompiledModel M = compileModel(G, Opt);
+  Executor E(M);
+  return E.run(Inputs);
+}
+
+/// Runs \p G through the full DNNFusion pipeline with \p Options.
+inline std::vector<Tensor> runOptimized(const Graph &G,
+                                        const std::vector<Tensor> &Inputs,
+                                        const CompileOptions &Options = {}) {
+  CompiledModel M = compileModel(G, Options);
+  Executor E(M);
+  return E.run(Inputs);
+}
+
+/// Asserts the optimized pipeline reproduces the reference outputs.
+inline void expectOptimizedMatchesReference(const Graph &G, uint64_t Seed,
+                                            const CompileOptions &Options = {},
+                                            float RelTol = 2e-3f,
+                                            float AbsTol = 2e-3f) {
+  std::vector<Tensor> Inputs = randomInputs(G, Seed);
+  std::vector<Tensor> Ref = runReference(G, Inputs);
+  std::vector<Tensor> Opt = runOptimized(G, Inputs, Options);
+  ASSERT_EQ(Ref.size(), Opt.size());
+  for (size_t I = 0; I < Ref.size(); ++I)
+    EXPECT_TRUE(allClose(Opt[I], Ref[I], RelTol, AbsTol))
+        << "output " << I << " diverges, max abs diff "
+        << maxAbsDiff(Opt[I], Ref[I]);
+}
+
+} // namespace testutil
+} // namespace dnnfusion
+
+#endif // DNNFUSION_TESTS_TESTUTILS_H

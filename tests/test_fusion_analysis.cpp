@@ -1,0 +1,130 @@
+//===- tests/test_fusion_analysis.cpp - Table 3 and ECG tests --------------------===//
+
+#include "core/Ecg.h"
+#include "core/FusionAnalysis.h"
+#include "graph/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+
+namespace {
+
+const MappingType AllTypes[] = {MappingType::OneToOne, MappingType::OneToMany,
+                                MappingType::ManyToMany,
+                                MappingType::Reorganize, MappingType::Shuffle};
+
+TEST(Table3, ExactlyTwoRedCells) {
+  // Paper: 23 code generation rules, one per green/yellow cell of the 5x5
+  // matrix => exactly 2 red cells.
+  int Red = 0, Green = 0, Yellow = 0;
+  for (MappingType F : AllTypes)
+    for (MappingType S : AllTypes) {
+      switch (fusionVerdict(F, S)) {
+      case FusionVerdict::FuseBreak:
+        ++Red;
+        break;
+      case FusionVerdict::FuseThrough:
+        ++Green;
+        break;
+      case FusionVerdict::FuseDepend:
+        ++Yellow;
+        break;
+      }
+    }
+  EXPECT_EQ(Red, 2);
+  EXPECT_EQ(Green + Yellow, 23);
+}
+
+TEST(Table3, RedCellsAreTheManyToManyConsumers) {
+  EXPECT_EQ(fusionVerdict(MappingType::ManyToMany, MappingType::ManyToMany),
+            FusionVerdict::FuseBreak);
+  EXPECT_EQ(fusionVerdict(MappingType::OneToMany, MappingType::ManyToMany),
+            FusionVerdict::FuseBreak);
+}
+
+TEST(Table3, OneToOneFusesGreenBothOrders) {
+  for (MappingType T : AllTypes) {
+    EXPECT_EQ(fusionVerdict(MappingType::OneToOne, T),
+              FusionVerdict::FuseThrough)
+        << mappingTypeName(T);
+    EXPECT_EQ(fusionVerdict(T, MappingType::OneToOne),
+              FusionVerdict::FuseThrough)
+        << mappingTypeName(T);
+  }
+}
+
+TEST(Table3, ShuffleReorganizeWithHeavySidesAreYellow) {
+  // §3.2: Reorder/Shuffle fused with One-to-Many or Many-to-Many requires
+  // profiling (the Expand+Transpose example).
+  for (MappingType Light : {MappingType::Reorganize, MappingType::Shuffle})
+    for (MappingType Heavy : {MappingType::OneToMany, MappingType::ManyToMany}) {
+      if (Heavy == MappingType::ManyToMany)
+        EXPECT_EQ(fusionVerdict(Light, Heavy), FusionVerdict::FuseDepend);
+      EXPECT_EQ(fusionVerdict(Heavy, Light), FusionVerdict::FuseDepend);
+    }
+  // Conv followed by Expand/Resize: yellow (paper's explicit example).
+  EXPECT_EQ(fusionVerdict(MappingType::ManyToMany, MappingType::OneToMany),
+            FusionVerdict::FuseDepend);
+}
+
+TEST(Table3, FusedTypeFollowsTransformationImpedance) {
+  // One-to-One absorbs into anything.
+  for (MappingType T : AllTypes) {
+    EXPECT_EQ(fusedMappingType(MappingType::OneToOne, T), T);
+    EXPECT_EQ(fusedMappingType(T, MappingType::OneToOne), T);
+  }
+  // Reorganize/Shuffle compositions.
+  EXPECT_EQ(fusedMappingType(MappingType::Shuffle, MappingType::Shuffle),
+            MappingType::Shuffle);
+  EXPECT_EQ(fusedMappingType(MappingType::Shuffle, MappingType::Reorganize),
+            MappingType::Reorganize);
+  EXPECT_EQ(fusedMappingType(MappingType::Reorganize, MappingType::Shuffle),
+            MappingType::Reorganize);
+  // Many-to-Many dominates everything.
+  for (MappingType T : AllTypes)
+    EXPECT_EQ(fusedMappingType(MappingType::ManyToMany, T),
+              MappingType::ManyToMany);
+  EXPECT_EQ(fusedMappingType(MappingType::OneToMany, MappingType::Shuffle),
+            MappingType::OneToMany);
+}
+
+TEST(Table3, ImpedanceOrdering) {
+  // One-to-One < {Reorganize, Shuffle} < {One-to-Many, Many-to-Many}.
+  EXPECT_LT(transformationImpedance(MappingType::OneToOne),
+            transformationImpedance(MappingType::Reorganize));
+  EXPECT_EQ(transformationImpedance(MappingType::Reorganize),
+            transformationImpedance(MappingType::Shuffle));
+  EXPECT_LT(transformationImpedance(MappingType::Shuffle),
+            transformationImpedance(MappingType::OneToMany));
+  EXPECT_EQ(transformationImpedance(MappingType::OneToMany),
+            transformationImpedance(MappingType::ManyToMany));
+}
+
+TEST(Ecg, AnnotatesMappingTypesAndProperties) {
+  GraphBuilder B(1);
+  NodeId X = B.input(Shape({2, 8}));
+  NodeId A = B.add(X, B.weight(Shape({2, 8}))); // Same-shape add: One-to-One.
+  NodeId M = B.op(OpKind::MatMul, {A, B.weight(Shape({8, 4}))});
+  NodeId T = B.transpose(M, {1, 0});
+  B.markOutput(T);
+  Ecg E(B.graph());
+  EXPECT_EQ(E.mappingType(A), MappingType::OneToOne);
+  EXPECT_EQ(E.mappingType(M), MappingType::ManyToMany);
+  EXPECT_EQ(E.mappingType(T), MappingType::Shuffle);
+  EXPECT_TRUE(E.info(A).Associative);
+  EXPECT_TRUE(E.info(A).Commutative);
+  EXPECT_FALSE(E.info(M).Associative);
+  EXPECT_EQ(E.info(M).IrsBytes, 2 * 4 * 4);
+}
+
+TEST(Ecg, BroadcastAddIsOneToMany) {
+  GraphBuilder B(2);
+  NodeId X = B.input(Shape({2, 8}));
+  NodeId Bias = B.weight(Shape({8}));
+  NodeId A = B.add(X, Bias);
+  Ecg E(B.graph());
+  EXPECT_EQ(E.mappingType(A), MappingType::OneToMany);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/test_fusion_planner.cpp - fusion plan exploration tests ---------------===//
+
+#include "core/Ecg.h"
+#include "core/FusionAnalysis.h"
+#include "core/FusionPlanner.h"
+#include "graph/GraphBuilder.h"
+#include "ops/OpSchema.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+
+namespace {
+
+/// Builds the Figure 3 example: Add seeded between GEMM and a Conv chain.
+Graph figure3Graph() {
+  GraphBuilder B(1);
+  NodeId X = B.input(Shape({1, 4, 8, 8}));
+  NodeId Flat = B.op(OpKind::Flatten, {X}, AttrMap().set("axis", int64_t(1)));
+  NodeId Gemm = B.op(OpKind::Gemm, {Flat, B.weight(Shape({256, 256}))});
+  NodeId Back = B.reshape(Gemm, {1, 4, 8, 8});
+  NodeId Add = B.add(Back, B.weight(Shape({1, 4, 8, 8})));
+  NodeId Conv = B.conv(Add, 4, {3, 3}, {1, 1}, {1, 1});
+  NodeId Rl = B.relu(Conv);
+  NodeId Mul = B.mul(Rl, B.weight(Shape({1, 4, 8, 8})));
+  NodeId Sub = B.sub(Mul, B.weight(Shape({1, 4, 8, 8})));
+  B.markOutput(Sub);
+  return B.take();
+}
+
+TEST(FusionPlanner, Figure3AddConvReluMulSubFuse) {
+  Graph G = figure3Graph();
+  PlannerStats Stats;
+  FusionPlan Plan = planFusion(G, nullptr, {}, &Stats);
+  // Find the block containing the Conv: it must also hold Add, Relu, Mul,
+  // Sub (the paper's example block) and must NOT hold the GEMM.
+  int ConvBlock = -1, GemmBlock = -1;
+  for (int Id = 0; Id < G.numNodes(); ++Id) {
+    if (G.node(Id).Dead)
+      continue;
+    if (G.node(Id).Kind == OpKind::Conv)
+      ConvBlock = Plan.BlockOfNode[static_cast<size_t>(Id)];
+    if (G.node(Id).Kind == OpKind::Gemm)
+      GemmBlock = Plan.BlockOfNode[static_cast<size_t>(Id)];
+  }
+  ASSERT_GE(ConvBlock, 0);
+  ASSERT_GE(GemmBlock, 0);
+  EXPECT_NE(ConvBlock, GemmBlock); // Many-to-Many pair stays split.
+  const FusionBlock &B = Plan.Blocks[static_cast<size_t>(ConvBlock)];
+  int Elementwise = 0;
+  for (NodeId Id : B.Members)
+    Elementwise += isElementwise(G.node(Id).Kind);
+  // Relu, Mul, Sub fuse behind the Conv; the Add between GEMM and Conv
+  // may legally land in either Many-to-Many block, but never alone.
+  EXPECT_GE(Elementwise, 3);
+  EXPECT_EQ(B.FusedType, MappingType::ManyToMany);
+  for (int Id = 0; Id < G.numNodes(); ++Id)
+    if (!G.node(Id).Dead && G.node(Id).Kind == OpKind::Add) {
+      int AddBlock = Plan.BlockOfNode[static_cast<size_t>(Id)];
+      EXPECT_GT(Plan.Blocks[static_cast<size_t>(AddBlock)].Members.size(), 1u);
+    }
+}
+
+TEST(FusionPlanner, PlanIsAVerifiedPartition) {
+  Graph G = figure3Graph();
+  FusionPlan Plan = planFusion(G);
+  Plan.verify(G); // Aborts on any violation.
+  EXPECT_GT(Plan.fusedLayerCount(), 0);
+  EXPECT_LT(Plan.fusedLayerCount(), G.countLayers());
+}
+
+TEST(FusionPlanner, AtMostOneManyToManyPerBlock) {
+  Graph G = figure3Graph();
+  Ecg E(G);
+  FusionPlan Plan = planFusion(G);
+  for (const FusionBlock &B : Plan.Blocks) {
+    int Heavy = 0;
+    for (NodeId Id : B.Members)
+      Heavy += E.mappingType(Id) == MappingType::ManyToMany;
+    EXPECT_LE(Heavy, 1);
+  }
+}
+
+TEST(FusionPlanner, NoFusionPlanIsOneOpPerBlock) {
+  Graph G = figure3Graph();
+  FusionPlan Plan = planNoFusion(G);
+  EXPECT_EQ(Plan.fusedLayerCount(), G.countLayers());
+  for (const FusionBlock &B : Plan.Blocks)
+    EXPECT_EQ(B.Members.size(), 1u);
+}
+
+TEST(FusionPlanner, DiamondWithReductionDoesNotCreateCycle) {
+  // x -> mean -> sub(x, mean): Sub cannot join x's block while mean stays
+  // outside (the LayerNorm diamond).
+  GraphBuilder B(2);
+  NodeId X = B.input(Shape({1, 8, 16}));
+  NodeId Pre = B.relu(X);
+  NodeId Mean = B.op(OpKind::ReduceMean, {Pre},
+                     AttrMap()
+                         .set("axes", std::vector<int64_t>{-1})
+                         .set("keepdims", int64_t(1)));
+  NodeId Sub = B.sub(Pre, Mean);
+  B.markOutput(Sub);
+  Graph G = B.take();
+  FusionPlan Plan = planFusion(G);
+  Plan.verify(G); // Would abort if the block order had a cycle.
+}
+
+TEST(FusionPlanner, ConstraintLimitsBlockSize) {
+  GraphBuilder B(3);
+  NodeId H = B.input(Shape({64}));
+  for (int I = 0; I < 100; ++I)
+    H = B.relu(H);
+  B.markOutput(H);
+  Graph G = B.take();
+  PlannerOptions Opt;
+  Opt.MaxOpsPerBlock = 10;
+  PlannerStats Stats;
+  FusionPlan Plan = planFusion(G, nullptr, Opt, &Stats);
+  for (const FusionBlock &Blk : Plan.Blocks)
+    EXPECT_LE(Blk.Members.size(), 10u);
+  EXPECT_GT(Stats.ConstraintRejected, 0);
+}
+
+TEST(FusionPlanner, SeedPoliciesAllYieldValidPlans) {
+  Graph G = figure3Graph();
+  for (PlannerOptions::SeedPolicy Policy :
+       {PlannerOptions::SeedPolicy::MinIntermediateResult,
+        PlannerOptions::SeedPolicy::MaxIntermediateResult,
+        PlannerOptions::SeedPolicy::FirstTopological}) {
+    PlannerOptions Opt;
+    Opt.Seeds = Policy;
+    FusionPlan Plan = planFusion(G, nullptr, Opt);
+    Plan.verify(G);
+  }
+}
+
+TEST(FusionPlanner, YellowFusionCanBeDisabled) {
+  Graph G = figure3Graph();
+  PlannerOptions NoYellow;
+  NoYellow.EnableYellowFusion = false;
+  PlannerStats SOn, SOff;
+  FusionPlan POn = planFusion(G, nullptr, {}, &SOn);
+  FusionPlan POff = planFusion(G, nullptr, NoYellow, &SOff);
+  EXPECT_EQ(SOff.YellowAccepted, 0);
+  EXPECT_LE(POn.fusedLayerCount(), POff.fusedLayerCount());
+}
+
+TEST(FusionPlanner, IntermediateBytesShrinkAfterFusion) {
+  Graph G = figure3Graph();
+  FusionPlan Fused = planFusion(G);
+  FusionPlan Unfused = planNoFusion(G);
+  EXPECT_LT(Fused.intermediateBytesAfterFusion(G),
+            Unfused.intermediateBytesAfterFusion(G));
+}
+
+TEST(FusionPlanner, PlanFromGroupsValidatesCoverage) {
+  GraphBuilder B(4);
+  NodeId X = B.input(Shape({4}));
+  NodeId A = B.relu(X);
+  NodeId C = B.sigmoid(A);
+  B.markOutput(C);
+  Graph G = B.take();
+  FusionPlan Plan = planFromGroups(G, {{A, C}});
+  EXPECT_EQ(Plan.Blocks.size(), 1u);
+  EXPECT_EQ(Plan.Blocks[0].ExternalInputs.size(), 1u);
+  EXPECT_EQ(Plan.Blocks[0].Outputs.size(), 1u);
+}
+
+TEST(FusionPlannerDeath, PlanFromGroupsRejectsPartialCoverage) {
+  GraphBuilder B(5);
+  NodeId X = B.input(Shape({4}));
+  NodeId A = B.relu(X);
+  NodeId C = B.sigmoid(A);
+  B.markOutput(C);
+  Graph G = B.take();
+  EXPECT_DEATH(planFromGroups(G, {{A}}), "not covered");
+}
+
+TEST(FusionPlanner, BlockOutputsIncludeGraphOutputs) {
+  Graph G = figure3Graph();
+  FusionPlan Plan = planFusion(G);
+  for (NodeId Out : G.outputs()) {
+    int Block = Plan.BlockOfNode[static_cast<size_t>(Out)];
+    ASSERT_GE(Block, 0);
+    const FusionBlock &B = Plan.Blocks[static_cast<size_t>(Block)];
+    EXPECT_NE(std::find(B.Outputs.begin(), B.Outputs.end(), Out),
+              B.Outputs.end());
+  }
+}
+
+TEST(CostModelOracle, FusionSavesLaunchAndTraffic) {
+  GraphBuilder B(6);
+  NodeId X = B.input(Shape({64, 64}));
+  NodeId A = B.relu(X);
+  NodeId C = B.sigmoid(A);
+  B.markOutput(C);
+  const Graph &G = B.graph();
+  CostModelOracle Oracle;
+  double Fused = Oracle.blockLatencyMs(G, {A, C});
+  double Split =
+      Oracle.blockLatencyMs(G, {A}) + Oracle.blockLatencyMs(G, {C});
+  EXPECT_LT(Fused, Split);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/test_graph.cpp - graph IR unit tests --------------------------------===//
+
+#include "graph/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+namespace {
+
+TEST(Graph, BuildAndInferShapes) {
+  GraphBuilder B(1);
+  NodeId X = B.input(Shape({2, 4}));
+  NodeId W = B.weight(Shape({4, 8}));
+  NodeId M = B.op(OpKind::MatMul, {X, W});
+  EXPECT_EQ(B.graph().node(M).OutShape, Shape({2, 8}));
+  EXPECT_EQ(B.graph().countLayers(), 1);
+  EXPECT_EQ(B.graph().countComputeIntensiveLayers(), 1);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  GraphBuilder B(2);
+  NodeId X = B.input(Shape({4}));
+  NodeId A = B.relu(X);
+  NodeId C = B.add(A, B.sigmoid(A));
+  B.markOutput(C);
+  const Graph &G = B.graph();
+  std::vector<NodeId> Order = G.topologicalOrder();
+  std::vector<int> Pos(static_cast<size_t>(G.numNodes()), -1);
+  for (size_t I = 0; I < Order.size(); ++I)
+    Pos[static_cast<size_t>(Order[I])] = static_cast<int>(I);
+  for (NodeId Id : Order)
+    for (NodeId In : G.node(Id).Inputs)
+      EXPECT_LT(Pos[static_cast<size_t>(In)], Pos[static_cast<size_t>(Id)]);
+}
+
+TEST(Graph, ConsumersIndex) {
+  GraphBuilder B(3);
+  NodeId X = B.input(Shape({4}));
+  NodeId A = B.relu(X);
+  NodeId C = B.add(A, A);
+  auto Consumers = B.graph().computeConsumers();
+  ASSERT_EQ(Consumers[static_cast<size_t>(A)].size(), 1u); // Deduplicated.
+  EXPECT_EQ(Consumers[static_cast<size_t>(A)][0], C);
+}
+
+TEST(Graph, ReplaceAllUsesAndDce) {
+  GraphBuilder B(4);
+  NodeId X = B.input(Shape({4}));
+  NodeId Old = B.relu(X);
+  NodeId User = B.sigmoid(Old);
+  B.markOutput(User);
+  Graph &G = B.graph();
+  NodeId New = G.addOp(OpKind::Tanh, {X});
+  G.replaceAllUses(Old, New);
+  EXPECT_EQ(G.node(User).Inputs[0], New);
+  G.eraseDeadNodes();
+  EXPECT_TRUE(G.node(Old).Dead);
+  EXPECT_FALSE(G.node(New).Dead);
+  G.verify();
+}
+
+TEST(GraphDeath, ReplaceAllUsesRequiresSameShape) {
+  GraphBuilder B(5);
+  NodeId X = B.input(Shape({4}));
+  NodeId Y = B.input(Shape({5}));
+  NodeId A = B.relu(X);
+  NodeId Bv = B.relu(Y);
+  EXPECT_DEATH(B.graph().replaceAllUses(A, Bv), "shape mismatch");
+}
+
+TEST(Graph, MetricsCountersAreConsistent) {
+  GraphBuilder B(6);
+  NodeId X = B.input(Shape({1, 3, 8, 8}));
+  NodeId C = B.conv(X, 4, {3, 3}, {1, 1}, {1, 1});
+  NodeId Rl = B.relu(C);
+  B.markOutput(Rl);
+  const Graph &G = B.graph();
+  EXPECT_EQ(G.countLayers(), 2);
+  EXPECT_EQ(G.countComputeIntensiveLayers(), 1);
+  // Conv output (8x8x4 floats) is the only intermediate.
+  EXPECT_EQ(G.intermediateBytes(), 4 * 8 * 8 * 4);
+  EXPECT_GT(G.totalFlops(), 0);
+}
+
+TEST(Graph, ToStringMentionsEveryLiveNode) {
+  GraphBuilder B(7);
+  NodeId X = B.input(Shape({4}));
+  B.markOutput(B.relu(X));
+  std::string S = B.graph().toString();
+  EXPECT_NE(S.find("Relu"), std::string::npos);
+  EXPECT_NE(S.find("// output"), std::string::npos);
+}
+
+TEST(GraphBuilder, DecomposedLayerNormIsNumericallyLayerNorm) {
+  GraphBuilder B(8);
+  NodeId X = B.input(Shape({1, 2, 4}));
+  NodeId Ln = B.layerNormDecomposed(X, 4);
+  EXPECT_EQ(B.graph().node(Ln).OutShape, Shape({1, 2, 4}));
+  // Decomposition uses only primitive operators (no LayerNorm op exists).
+  for (int Id = 0; Id < B.graph().numNodes(); ++Id)
+    if (!B.graph().node(Id).Dead)
+      EXPECT_NE(opKindName(B.graph().node(Id).Kind),
+                std::string("LayerNormalization"));
+}
+
+TEST(GraphBuilder, MishAndSiluExpandToPrimitives) {
+  GraphBuilder B(9);
+  NodeId X = B.input(Shape({4}));
+  B.markOutput(B.mish(X));
+  B.markOutput(B.silu(X));
+  int Softplus = 0, Sigmoid = 0;
+  for (int Id = 0; Id < B.graph().numNodes(); ++Id) {
+    OpKind K = B.graph().node(Id).Kind;
+    Softplus += K == OpKind::Softplus;
+    Sigmoid += K == OpKind::Sigmoid;
+  }
+  EXPECT_EQ(Softplus, 1);
+  EXPECT_EQ(Sigmoid, 1);
+}
+
+class RandomGraphTopo : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphTopo, VerifyAcceptsRandomDags) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 977 + 5);
+  GraphBuilder B(R.next());
+  std::vector<NodeId> Pool = {B.input(Shape({4, 8}))};
+  for (int I = 0; I < 30; ++I) {
+    NodeId A = Pool[R.nextBelow(Pool.size())];
+    if (R.nextBool(0.4f)) {
+      NodeId C = Pool[R.nextBelow(Pool.size())];
+      Pool.push_back(B.add(A, C));
+    } else {
+      Pool.push_back(B.relu(A));
+    }
+  }
+  B.markOutput(Pool.back());
+  B.graph().verify();
+  EXPECT_EQ(B.graph().countLayers(), 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomGraphTopo, ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- tests/test_pipeline_smoke.cpp - End-to-end pipeline smoke tests ---------===//
+
+#include "TestUtils.h"
+
+#include "graph/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+using namespace dnnfusion::testutil;
+
+namespace {
+
+TEST(PipelineSmoke, ElementwiseChain) {
+  GraphBuilder B(1);
+  NodeId X = B.input(Shape({4, 16}));
+  NodeId Y = B.relu(B.add(X, B.weight(Shape({4, 16}))));
+  NodeId Z = B.mul(B.sigmoid(Y), Y);
+  B.markOutput(Z);
+  expectOptimizedMatchesReference(B.graph(), 42);
+}
+
+TEST(PipelineSmoke, ConvBnReluChain) {
+  GraphBuilder B(2);
+  NodeId X = B.input(Shape({1, 4, 10, 10}));
+  NodeId C1 = B.conv(X, 8, {3, 3}, {1, 1}, {1, 1});
+  NodeId Y = B.relu(B.batchNorm(C1));
+  NodeId C2 = B.conv(Y, 8, {3, 3}, {2, 2}, {1, 1});
+  NodeId Z = B.relu(C2);
+  B.markOutput(Z);
+  expectOptimizedMatchesReference(B.graph(), 7);
+}
+
+TEST(PipelineSmoke, TransposeReshapeFolding) {
+  GraphBuilder B(3);
+  NodeId X = B.input(Shape({2, 3, 4, 5}));
+  NodeId T = B.transpose(X, {0, 2, 1, 3});
+  NodeId R = B.reshape(T, {2, 4, 15});
+  NodeId Y = B.relu(R);
+  B.markOutput(Y);
+  expectOptimizedMatchesReference(B.graph(), 11);
+}
+
+TEST(PipelineSmoke, AttentionLikeBlock) {
+  GraphBuilder B(4);
+  NodeId X = B.input(Shape({2, 8, 16}));
+  NodeId Q = B.linear(X, 16);
+  NodeId K = B.linear(X, 16);
+  NodeId V = B.linear(X, 16);
+  NodeId Kt = B.transpose(K, {0, 2, 1});
+  NodeId Scores = B.op(OpKind::MatMul, {Q, Kt});
+  NodeId Scaled = B.mul(Scores, B.scalar(0.25f));
+  NodeId Probs = B.softmax(Scaled, -1);
+  NodeId Ctx = B.op(OpKind::MatMul, {Probs, V});
+  NodeId Out = B.layerNormDecomposed(B.add(Ctx, X), 16);
+  B.markOutput(Out);
+  expectOptimizedMatchesReference(B.graph(), 13);
+}
+
+TEST(PipelineSmoke, ConcatAndSlice) {
+  GraphBuilder B(5);
+  NodeId X = B.input(Shape({2, 4, 6}));
+  NodeId Y = B.input(Shape({2, 2, 6}));
+  NodeId C = B.concat({B.relu(X), B.sigmoid(Y)}, 1);
+  NodeId S = B.op(OpKind::Slice, {C},
+                  AttrMap()
+                      .set("starts", std::vector<int64_t>{1})
+                      .set("ends", std::vector<int64_t>{5})
+                      .set("axes", std::vector<int64_t>{1}));
+  B.markOutput(B.tanhOp(S));
+  expectOptimizedMatchesReference(B.graph(), 17);
+}
+
+TEST(PipelineSmoke, RewriteChangesGraphButNotResult) {
+  // Recip(A) * Recip(A*B) triggers the flagship associative rule.
+  GraphBuilder B(6);
+  NodeId A = B.input(Shape({8, 8}));
+  NodeId Bv = B.input(Shape({8, 8}));
+  NodeId R1 = B.unary(OpKind::Reciprocal, A);
+  NodeId M = B.mul(A, Bv);
+  NodeId R2 = B.unary(OpKind::Reciprocal, M);
+  NodeId Out = B.mul(R1, R2);
+  B.markOutput(Out);
+  expectOptimizedMatchesReference(B.graph(), 19);
+}
+
+} // namespace

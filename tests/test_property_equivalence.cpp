@@ -1,0 +1,175 @@
+//===- tests/test_property_equivalence.cpp - fused == unfused, at random -----------===//
+//
+// The repository's central property: for ANY graph, the fully optimized
+// pipeline (rewriting + fusion + code generation + all other passes) must
+// produce the same outputs as the unoptimized per-operator reference
+// execution. A seeded generator samples random DAGs from the operator
+// vocabulary (elementwise, broadcast, data movement, reductions, matmul,
+// conv, concat) and the sweep runs the equivalence check per seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+
+#include "graph/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+using namespace dnnfusion::testutil;
+
+namespace {
+
+/// Samples a random valid graph. Shapes stay small; domains stay safe
+/// (positive inputs; no Log/Sqrt on arbitrary intermediate signs).
+Graph randomGraph(uint64_t Seed) {
+  Rng R(Seed);
+  GraphBuilder B(Seed * 31 + 7);
+  std::vector<NodeId> Pool;
+  Pool.push_back(B.input(Shape({2, 4, 6})));
+  if (R.nextBool(0.5f))
+    Pool.push_back(B.input(Shape({2, 4, 6})));
+
+  auto Pick = [&] { return Pool[R.nextBelow(Pool.size())]; };
+  auto PickWithShape = [&](const Shape &S) -> NodeId {
+    for (int Tries = 0; Tries < 20; ++Tries) {
+      NodeId Id = Pick();
+      if (B.graph().node(Id).OutShape == S)
+        return Id;
+    }
+    return InvalidNodeId;
+  };
+
+  int Ops = static_cast<int>(R.nextInRange(8, 26));
+  for (int I = 0; I < Ops; ++I) {
+    NodeId X = Pick();
+    const Shape &S = B.graph().node(X).OutShape;
+    switch (R.nextBelow(10)) {
+    case 0: { // Unary elementwise (domain-safe subset).
+      static const OpKind Unaries[] = {OpKind::Relu,    OpKind::Sigmoid,
+                                       OpKind::Tanh,    OpKind::Abs,
+                                       OpKind::Square,  OpKind::Neg,
+                                       OpKind::Erf,     OpKind::Softplus,
+                                       OpKind::Exp,     OpKind::Identity};
+      OpKind K = Unaries[R.nextBelow(10)];
+      // Exp explodes on deep chains; tame it with a preceding Tanh.
+      if (K == OpKind::Exp)
+        X = B.tanhOp(X);
+      Pool.push_back(B.unary(K, X));
+      break;
+    }
+    case 1: { // Binary, same shape when available.
+      NodeId Y = PickWithShape(S);
+      if (Y == InvalidNodeId)
+        Y = X;
+      static const OpKind Binaries[] = {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                                        OpKind::Maximum, OpKind::Minimum};
+      Pool.push_back(B.binary(Binaries[R.nextBelow(5)], X, Y));
+      break;
+    }
+    case 2: { // Broadcast binary against a small constant.
+      Shape Small = R.nextBool() ? Shape({1}) : Shape({S.dim(S.rank() - 1)});
+      Pool.push_back(B.binary(R.nextBool() ? OpKind::Add : OpKind::Mul, X,
+                              B.weight(Small)));
+      break;
+    }
+    case 3: { // Transpose (random permutation of a small rank).
+      std::vector<int64_t> Perm(static_cast<size_t>(S.rank()));
+      for (size_t D = 0; D < Perm.size(); ++D)
+        Perm[D] = static_cast<int64_t>(D);
+      for (size_t D = Perm.size(); D > 1; --D)
+        std::swap(Perm[D - 1], Perm[R.nextBelow(D)]);
+      Pool.push_back(B.transpose(X, Perm));
+      break;
+    }
+    case 4: // Reshape to a flat 2-D view.
+      Pool.push_back(B.reshape(X, {S.numElements() / S.dim(S.rank() - 1),
+                                   S.dim(S.rank() - 1)}));
+      break;
+    case 5: { // Slice along the last axis.
+      int64_t Last = S.dim(S.rank() - 1);
+      if (Last < 2)
+        break;
+      int64_t Cut = R.nextInRange(1, Last - 1);
+      Pool.push_back(B.op(OpKind::Slice, {X},
+                          AttrMap()
+                              .set("starts", std::vector<int64_t>{0})
+                              .set("ends", std::vector<int64_t>{Cut})
+                              .set("axes", std::vector<int64_t>{-1})));
+      break;
+    }
+    case 6: { // Reduction along a random axis.
+      AttrMap A;
+      A.set("axes",
+            std::vector<int64_t>{R.nextInRange(0, S.rank() - 1)});
+      A.set("keepdims", int64_t(1));
+      static const OpKind Reduces[] = {OpKind::ReduceSum, OpKind::ReduceMean,
+                                       OpKind::ReduceMax};
+      Pool.push_back(B.op(Reduces[R.nextBelow(3)], {X}, A));
+      break;
+    }
+    case 7: { // MatMul against a fresh weight on the last axis.
+      int64_t K = S.dim(S.rank() - 1);
+      Pool.push_back(
+          B.op(OpKind::MatMul, {X, B.weight(Shape({K, R.nextInRange(2, 6)}))}));
+      break;
+    }
+    case 8: { // Concat with itself along the last axis.
+      Pool.push_back(B.concat({X, X}, S.rank() - 1));
+      break;
+    }
+    case 9: { // Softmax over the last axis.
+      Pool.push_back(B.softmax(X, -1));
+      break;
+    }
+    }
+  }
+  // Mark a couple of leaves (values without consumers) as outputs.
+  auto Consumers = B.graph().computeConsumers();
+  int Marked = 0;
+  for (NodeId Id : Pool)
+    if (Consumers[static_cast<size_t>(Id)].empty() &&
+        B.graph().node(Id).Kind != OpKind::Input && Marked++ < 3)
+      B.markOutput(Id);
+  if (Marked == 0)
+    B.markOutput(Pool.back());
+  Graph G = B.take();
+  G.verify();
+  return G;
+}
+
+class FusedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedEquivalence, OptimizedMatchesReferenceOnRandomGraphs) {
+  Graph G = randomGraph(static_cast<uint64_t>(GetParam()) * 1237 + 17);
+  expectOptimizedMatchesReference(G, 5000 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedEquivalence, ::testing::Range(0, 40));
+
+class FusedEquivalenceNoRewrite : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedEquivalenceNoRewrite, FusionAloneMatchesReference) {
+  Graph G = randomGraph(static_cast<uint64_t>(GetParam()) * 733 + 3);
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  expectOptimizedMatchesReference(G, 6000 + GetParam(), Opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedEquivalenceNoRewrite,
+                         ::testing::Range(0, 15));
+
+class RewriteOnlyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriteOnlyEquivalence, RewritingAloneMatchesReference) {
+  Graph G = randomGraph(static_cast<uint64_t>(GetParam()) * 911 + 29);
+  CompileOptions Opt;
+  Opt.EnableFusion = false;
+  Opt.EnableOtherOpts = false;
+  expectOptimizedMatchesReference(G, 7000 + GetParam(), Opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RewriteOnlyEquivalence,
+                         ::testing::Range(0, 15));
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/test_support.cpp - support/ unit tests ----------------------------===//
+
+#include "support/Error.h"
+#include "support/KeyValueFile.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+using namespace dnnfusion;
+
+namespace {
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+  EXPECT_EQ(formatString("%05d", 7), "00007");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(splitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(splitString("xyz", ','), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(StringUtils, JoinInvertsSplit) {
+  std::vector<std::string> Pieces = {"a", "b", "c"};
+  EXPECT_EQ(splitString(joinStrings(Pieces, ","), ','), Pieces);
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString("a"), "a");
+}
+
+TEST(StringUtils, IntListRoundTrip) {
+  std::vector<int64_t> Values = {-3, 0, 7, 1ll << 40};
+  EXPECT_EQ(parseIntList(intsToString(Values)), Values);
+  EXPECT_TRUE(parseIntList("[]").empty());
+  EXPECT_EQ(parseIntList("1,2,3"), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(7), B(7), C(8);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    float V = R.nextFloat();
+    EXPECT_GE(V, 0.0f);
+    EXPECT_LT(V, 1.0f);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    int64_t V = R.nextInRange(2, 5);
+    EXPECT_GE(V, 2);
+    EXPECT_LE(V, 5);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u); // All four values appear.
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> Hits(100000);
+  parallelFor(100000, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      ++Hits[static_cast<size_t>(I)];
+  });
+  for (const auto &H : Hits)
+    ASSERT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPool, SmallCountsRunInline) {
+  int Calls = 0;
+  parallelFor(10, [&](int64_t Begin, int64_t End) {
+    ++Calls;
+    EXPECT_EQ(Begin, 0);
+    EXPECT_EQ(End, 10);
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoops) {
+  bool Called = false;
+  parallelFor(0, [&](int64_t, int64_t) { Called = true; });
+  parallelFor(-5, [&](int64_t, int64_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"long-name", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("long-name"), std::string::npos);
+  // Header and separator and two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+}
+
+TEST(KeyValueFile, RoundTrip) {
+  std::string Path = "/tmp/dnnf_kv_test.txt";
+  std::map<std::string, std::string> In = {{"a", "1"}, {"b", "x=y? no"},
+                                           {"key with space", "v"}};
+  // '=' in values survives (only the first '=' splits).
+  In["b"] = "x+y";
+  ASSERT_TRUE(storeKeyValueFile(Path, In));
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(loadKeyValueFile(Path, Out));
+  EXPECT_EQ(In, Out);
+  std::remove(Path.c_str());
+}
+
+TEST(KeyValueFile, MissingFileReturnsFalse) {
+  std::map<std::string, std::string> Out;
+  EXPECT_FALSE(loadKeyValueFile("/tmp/does_not_exist_dnnf.txt", Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(Timer, Monotonic) {
+  WallTimer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  EXPECT_GE(A, 0.0);
+}
+
+TEST(ErrorDeath, CheckMacroAborts) {
+  EXPECT_DEATH(DNNF_CHECK(false, "boom %d", 42), "boom 42");
+}
+
+} // namespace

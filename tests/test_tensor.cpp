@@ -1,0 +1,140 @@
+//===- tests/test_tensor.cpp - tensor/ unit tests ------------------------------===//
+
+#include "ops/IndexUtils.h"
+#include "tensor/Tensor.h"
+#include "tensor/TensorUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+
+namespace {
+
+TEST(Shape, Basics) {
+  Shape S({2, 3, 4});
+  EXPECT_EQ(S.rank(), 3);
+  EXPECT_EQ(S.numElements(), 24);
+  EXPECT_EQ(S.dim(1), 3);
+  EXPECT_EQ(S.toString(), "2x3x4");
+  EXPECT_EQ(Shape().numElements(), 1);
+  EXPECT_EQ(Shape().toString(), "scalar");
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape S({2, 3, 4});
+  EXPECT_EQ(S.rowMajorStrides(), (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(Shape, FlattenUnflattenRoundTrip) {
+  Shape S({3, 5, 7});
+  std::vector<int64_t> Coords;
+  for (int64_t Flat = 0; Flat < S.numElements(); ++Flat) {
+    S.unflatten(Flat, Coords);
+    EXPECT_EQ(S.flatten(Coords), Flat);
+  }
+}
+
+TEST(Shape, BroadcastRules) {
+  EXPECT_EQ(Shape::broadcast(Shape({4, 1}), Shape({3})), Shape({4, 3}));
+  EXPECT_EQ(Shape::broadcast(Shape({1}), Shape({2, 3})), Shape({2, 3}));
+  EXPECT_EQ(Shape::broadcast(Shape({2, 3}), Shape({2, 3})), Shape({2, 3}));
+  EXPECT_TRUE(Shape::broadcastCompatible(Shape({5, 1, 3}), Shape({2, 3})));
+  EXPECT_FALSE(Shape::broadcastCompatible(Shape({4}), Shape({3})));
+}
+
+TEST(ShapeDeath, BadBroadcastAborts) {
+  EXPECT_DEATH(Shape::broadcast(Shape({4}), Shape({3})), "do not broadcast");
+}
+
+TEST(Tensor, ZerosAndFull) {
+  Tensor Z = Tensor::zeros(Shape({2, 2}));
+  Tensor F = Tensor::full(Shape({2, 2}), 3.5f);
+  for (int64_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Z.at(I), 0.0f);
+    EXPECT_EQ(F.at(I), 3.5f);
+  }
+}
+
+TEST(Tensor, ReshapedSharesStorage) {
+  Tensor T = Tensor::full(Shape({2, 6}), 1.0f);
+  Tensor V = T.reshaped(Shape({3, 4}));
+  EXPECT_TRUE(T.sharesStorageWith(V));
+  V.at(0) = 9.0f;
+  EXPECT_EQ(T.at(0), 9.0f);
+}
+
+TEST(TensorDeath, ReshapeElementMismatchAborts) {
+  Tensor T(Shape({2, 3}));
+  EXPECT_DEATH(T.reshaped(Shape({7})), "changes element count");
+}
+
+TEST(Tensor, BorrowViewsCallerMemory) {
+  float Data[6] = {0, 1, 2, 3, 4, 5};
+  Tensor V = Tensor::borrow(Data, Shape({2, 3}));
+  EXPECT_EQ(V.at(4), 4.0f);
+  V.at(4) = 44.0f;
+  EXPECT_EQ(Data[4], 44.0f);
+}
+
+TEST(TensorUtils, AllCloseAndMaxAbsDiff) {
+  Tensor A = Tensor::full(Shape({4}), 1.0f);
+  Tensor B = Tensor::full(Shape({4}), 1.0f);
+  B.at(2) = 1.0005f;
+  EXPECT_TRUE(allClose(A, B, 1e-3f, 1e-3f));
+  EXPECT_FALSE(allClose(A, B, 1e-6f, 1e-6f));
+  EXPECT_NEAR(maxAbsDiff(A, B), 0.0005f, 1e-6f);
+}
+
+TEST(TensorUtils, AllCloseRejectsShapeMismatch) {
+  EXPECT_FALSE(allClose(Tensor::zeros(Shape({2})), Tensor::zeros(Shape({3}))));
+}
+
+TEST(TensorUtils, FillRandomDeterministic) {
+  Rng R1(9), R2(9);
+  Tensor A(Shape({16})), B(Shape({16}));
+  fillRandom(A, R1);
+  fillRandom(B, R2);
+  EXPECT_EQ(maxAbsDiff(A, B), 0.0f);
+}
+
+TEST(IndexUtils, BroadcastStrides) {
+  EXPECT_EQ(broadcastStrides(Shape({3}), Shape({2, 3})),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(broadcastStrides(Shape({2, 1}), Shape({2, 3})),
+            (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(broadcastStrides(Shape({2, 3}), Shape({2, 3})),
+            (std::vector<int64_t>{3, 1}));
+}
+
+TEST(IndexUtils, StridedIteratorMatchesManualWalk) {
+  Shape Out({2, 3, 2});
+  std::vector<int64_t> Strides = {1, 10, 100}; // Deliberately non-row-major.
+  StridedIndexIterator It(Out, Strides);
+  std::vector<int64_t> Coords;
+  for (int64_t Flat = 0; Flat < Out.numElements(); ++Flat) {
+    Out.unflatten(Flat, Coords);
+    int64_t Expected = Coords[0] * 1 + Coords[1] * 10 + Coords[2] * 100;
+    EXPECT_EQ(It.offset(), Expected) << "flat " << Flat;
+    It.next();
+  }
+}
+
+class ShapeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeRoundTrip, RandomShapesFlattenInvertibly) {
+  Rng R(static_cast<uint64_t>(GetParam()));
+  int RankV = static_cast<int>(R.nextInRange(1, 5));
+  std::vector<int64_t> Dims;
+  for (int D = 0; D < RankV; ++D)
+    Dims.push_back(R.nextInRange(1, 6));
+  Shape S(Dims);
+  std::vector<int64_t> Coords;
+  for (int64_t Flat = 0; Flat < S.numElements(); ++Flat) {
+    S.unflatten(Flat, Coords);
+    ASSERT_EQ(S.flatten(Coords), Flat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShapeRoundTrip, ::testing::Range(0, 20));
+
+} // namespace

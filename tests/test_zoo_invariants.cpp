@@ -1,0 +1,107 @@
+//===- tests/test_zoo_invariants.cpp - whole-zoo compiler invariants ----------------===//
+//
+// Structural invariants the compiler must uphold on every real model, not
+// just unit-test graphs: verified plans, the one-Many-to-Many-per-block
+// property, Table 3 conformance of every adjacent fused pair, compiled
+// block/slot consistency, and memory-plan sanity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Ecg.h"
+#include "core/FusionAnalysis.h"
+#include "models/ModelZoo.h"
+#include "runtime/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace dnnfusion;
+
+namespace {
+
+class ZooInvariants : public ::testing::TestWithParam<int> {
+protected:
+  const ModelZooEntry &entry() const {
+    return modelZoo()[static_cast<size_t>(GetParam())];
+  }
+};
+
+TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
+  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  M.Plan.verify(M.G);
+  EXPECT_LT(M.Plan.fusedLayerCount(), M.G.countLayers()) << entry().Info.Name;
+
+  Ecg E(M.G);
+  for (const FusionBlock &B : M.Plan.Blocks) {
+    // At most one Many-to-Many operator per block (red Table 3 cells).
+    int Heavy = 0;
+    for (NodeId Id : B.Members)
+      Heavy += E.mappingType(Id) == MappingType::ManyToMany;
+    EXPECT_LE(Heavy, 1);
+    // Every adjacent producer/consumer pair inside a block must be a
+    // non-red combination under Table 3.
+    for (NodeId Id : B.Members)
+      for (NodeId In : M.G.node(Id).Inputs)
+        if (B.contains(In))
+          EXPECT_NE(fusionVerdict(E.mappingType(In), E.mappingType(Id)),
+                    FusionVerdict::FuseBreak)
+              << entry().Info.Name << " node " << Id;
+  }
+}
+
+TEST_P(ZooInvariants, CompiledBlocksHaveConsistentSlots) {
+  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
+    const CompiledBlock &CB = M.Blocks[BI];
+    int NumSlots = CB.numSlots();
+    ASSERT_EQ(CB.ExternalInputs.size(),
+              M.Plan.Blocks[BI].ExternalInputs.size());
+    for (const CompiledStep &S : CB.Steps) {
+      ASSERT_GE(S.OutputSlot, static_cast<int>(CB.ExternalInputs.size()));
+      ASSERT_LT(S.OutputSlot, NumSlots);
+      for (int Slot : S.InputSlots)
+        ASSERT_LT(Slot, NumSlots);
+      for (const DftNode &N : S.Tree.Nodes)
+        if (N.K == DftNode::Kind::Leaf) {
+          ASSERT_GE(N.BufferSlot, 0);
+          ASSERT_LT(N.BufferSlot, NumSlots);
+        }
+    }
+    // Every block output has exactly one local buffer flagged for it.
+    for (NodeId Out : M.Plan.Blocks[BI].Outputs) {
+      int Found = 0;
+      for (const CompiledBlock::LocalBuffer &L : CB.Locals)
+        Found += L.IsBlockOutput && L.Node == Out;
+      EXPECT_EQ(Found, 1) << entry().Info.Name << " block " << BI;
+    }
+  }
+}
+
+TEST_P(ZooInvariants, MemoryPlanCoversEveryBlockOutput) {
+  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  for (const FusionBlock &B : M.Plan.Blocks)
+    for (NodeId Out : B.Outputs)
+      EXPECT_GE(M.Memory.ArenaOffsetOfNode[static_cast<size_t>(Out)], 0);
+  EXPECT_GT(M.Memory.ArenaBytes, 0);
+  EXPECT_GT(M.Memory.WeightBytes, 0);
+}
+
+TEST_P(ZooInvariants, RewritingNeverIncreasesFlops) {
+  Graph G = entry().Build();
+  RewriteStats Stats = rewriteGraph(G);
+  EXPECT_LE(Stats.FlopsAfter, Stats.FlopsBefore) << entry().Info.Name;
+  EXPECT_LE(Stats.LayersAfter, Stats.LayersBefore) << entry().Info.Name;
+  G.verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ZooInvariants, ::testing::Range(0, 15),
+    [](const ::testing::TestParamInfo<int> &Info) {
+      std::string Name =
+          modelZoo()[static_cast<size_t>(Info.param)].Info.Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace
