@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify in Debug and Release, plus the smoke-label
+# fast pass. Mirrors what .github/workflows/ci.yml runs; usable locally:
+#
+#   ./scripts/ci.sh            # both configurations
+#   ./scripts/ci.sh Debug      # one configuration
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+CONFIGS=("${@:-Debug}")
+if [ "$#" -eq 0 ]; then
+  CONFIGS=(Debug Release)
+fi
+
+for CONFIG in "${CONFIGS[@]}"; do
+  BUILD_DIR="build-ci-${CONFIG,,}"
+  echo "=== [$CONFIG] configure ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$CONFIG"
+  echo "=== [$CONFIG] build ==="
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  echo "=== [$CONFIG] smoke tests ==="
+  ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+  echo "=== [$CONFIG] full test suite ==="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+done
+
+echo "CI passed for: ${CONFIGS[*]}"

@@ -63,6 +63,10 @@ public:
   /// emitted-kernel names.
   std::string signature() const;
 
+  /// Read-only view of all attributes, sorted by name (used by tooling that
+  /// needs to reproduce a node verbatim, e.g. the fuzz-repro printer).
+  const std::map<std::string, AttrValue> &entries() const { return Values; }
+
   bool operator==(const AttrMap &Other) const { return Values == Other.Values; }
 
 private:

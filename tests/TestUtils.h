@@ -14,11 +14,15 @@
 #ifndef DNNFUSION_TESTS_TESTUTILS_H
 #define DNNFUSION_TESTS_TESTUTILS_H
 
+#include "GraphFuzz.h"
 #include "runtime/Executor.h"
 #include "runtime/ModelCompiler.h"
+#include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <optional>
 
 namespace dnnfusion {
 namespace testutil {
@@ -61,7 +65,9 @@ inline std::vector<Tensor> runOptimized(const Graph &G,
   return E.run(Inputs);
 }
 
-/// Asserts the optimized pipeline reproduces the reference outputs.
+/// Asserts the optimized pipeline reproduces the reference outputs. Output
+/// comparison itself lives in GraphFuzz.h (compareOutputs) so this layer
+/// and the fuzz harness report failures uniformly.
 inline void expectOptimizedMatchesReference(const Graph &G, uint64_t Seed,
                                             const CompileOptions &Options = {},
                                             float RelTol = 2e-3f,
@@ -69,11 +75,22 @@ inline void expectOptimizedMatchesReference(const Graph &G, uint64_t Seed,
   std::vector<Tensor> Inputs = randomInputs(G, Seed);
   std::vector<Tensor> Ref = runReference(G, Inputs);
   std::vector<Tensor> Opt = runOptimized(G, Inputs, Options);
-  ASSERT_EQ(Ref.size(), Opt.size());
-  for (size_t I = 0; I < Ref.size(); ++I)
-    EXPECT_TRUE(allClose(Opt[I], Ref[I], RelTol, AbsTol))
-        << "output " << I << " diverges, max abs diff "
-        << maxAbsDiff(Opt[I], Ref[I]);
+  std::optional<std::string> Diff = compareOutputs(Ref, Opt, RelTol, AbsTol);
+  EXPECT_FALSE(Diff.has_value()) << *Diff;
+}
+
+/// Asserts the optimized pipeline reproduces the reference outputs under
+/// every configuration of the differential matrix (see GraphFuzz.h).
+inline void
+expectMatchesReferenceUnderMatrix(const Graph &G, uint64_t Seed,
+                                  float RelTol = 2e-3f, float AbsTol = 2e-3f) {
+  std::vector<Tensor> Inputs = randomInputs(G, Seed);
+  std::vector<Tensor> Ref = runReference(G, Inputs);
+  for (const DiffConfig &Config : defaultConfigMatrix()) {
+    std::vector<Tensor> Opt = runOptimized(G, Inputs, Config.Options);
+    std::optional<std::string> Diff = compareOutputs(Ref, Opt, RelTol, AbsTol);
+    EXPECT_FALSE(Diff.has_value()) << "config " << Config.Name << ": " << *Diff;
+  }
 }
 
 } // namespace testutil

@@ -59,8 +59,9 @@ TEST(Table3, ShuffleReorganizeWithHeavySidesAreYellow) {
   // profiling (the Expand+Transpose example).
   for (MappingType Light : {MappingType::Reorganize, MappingType::Shuffle})
     for (MappingType Heavy : {MappingType::OneToMany, MappingType::ManyToMany}) {
-      if (Heavy == MappingType::ManyToMany)
+      if (Heavy == MappingType::ManyToMany) {
         EXPECT_EQ(fusionVerdict(Light, Heavy), FusionVerdict::FuseDepend);
+      }
       EXPECT_EQ(fusionVerdict(Heavy, Light), FusionVerdict::FuseDepend);
     }
   // Conv followed by Expand/Resize: yellow (paper's explicit example).

@@ -101,9 +101,10 @@ TEST(GraphBuilder, DecomposedLayerNormIsNumericallyLayerNorm) {
   EXPECT_EQ(B.graph().node(Ln).OutShape, Shape({1, 2, 4}));
   // Decomposition uses only primitive operators (no LayerNorm op exists).
   for (int Id = 0; Id < B.graph().numNodes(); ++Id)
-    if (!B.graph().node(Id).Dead)
+    if (!B.graph().node(Id).Dead) {
       EXPECT_NE(opKindName(B.graph().node(Id).Kind),
                 std::string("LayerNormalization"));
+    }
 }
 
 TEST(GraphBuilder, MishAndSiluExpandToPrimitives) {

@@ -172,4 +172,15 @@ TEST_P(RewriteOnlyEquivalence, RewritingAloneMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Sweep, RewriteOnlyEquivalence,
                          ::testing::Range(0, 15));
 
+class MatrixEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixEquivalence, AllMatrixConfigsMatchReference) {
+  // The full differential matrix (includes the no-other-opts configuration
+  // the dedicated sweeps above do not cover).
+  Graph G = randomGraph(static_cast<uint64_t>(GetParam()) * 509 + 71);
+  expectMatchesReferenceUnderMatrix(G, 8000 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatrixEquivalence, ::testing::Range(0, 10));
+
 } // namespace

@@ -1,0 +1,497 @@
+//===- tests/test_rewrite_golden.cpp - per-rule before/after goldens -----------===//
+//
+// Structural golden tests for the graph-rewriting registry (paper Table 4):
+// every registered rule gets an explicit before/after graph assertion, not
+// just end-to-end numeric equivalence (tests/test_rewrite.cpp covers that).
+// Graphs are rendered as canonical output expressions — operator names with
+// attribute signatures applied to `inN`/`const[...]` leaves — so the
+// assertions are independent of node ids and construction order.
+//
+// A meta-test pins the covered rule-name set to the registry: adding a rule
+// without a golden here is a test failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GraphRewriter.h"
+#include "graph/GraphBuilder.h"
+#include "ops/OpSchema.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace dnnfusion;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Canonical expression rendering
+//===----------------------------------------------------------------------===//
+
+/// Renders the value produced by \p Id as a canonical expression: operator
+/// names (with attribute signature when present) over `inN` input leaves and
+/// `const[value|shape]` constant leaves. Shared subgraphs print in full at
+/// every use, which keeps the rendering construction-order independent.
+std::string expr(const Graph &G, NodeId Id) {
+  const Node &N = G.node(Id);
+  if (N.Kind == OpKind::Input) {
+    int Index = 0;
+    for (int I = 0; I < N.Id; ++I)
+      if (!G.node(I).Dead && G.node(I).Kind == OpKind::Input)
+        ++Index;
+    return formatString("in%d", Index);
+  }
+  if (N.Kind == OpKind::Constant) {
+    if (N.OutShape.numElements() == 1)
+      return formatString("const[%g]", static_cast<double>(N.ConstValue.at(0)));
+    return "const[" + N.OutShape.toString() + "]";
+  }
+  std::string Out = opKindName(N.Kind);
+  std::string Sig = N.Attrs.signature();
+  if (!Sig.empty())
+    Out += "{" + Sig + "}";
+  std::vector<std::string> Ins;
+  for (NodeId In : N.Inputs)
+    Ins.push_back(expr(G, In));
+  return Out + "(" + joinStrings(Ins, ", ") + ")";
+}
+
+/// Canonical rendering of a whole graph: its output expressions in output
+/// order.
+std::string graphExpr(const Graph &G) {
+  std::vector<std::string> Outs;
+  for (NodeId Id : G.outputs())
+    Outs.push_back(expr(G, Id));
+  return joinStrings(Outs, " | ");
+}
+
+//===----------------------------------------------------------------------===//
+// Golden case table
+//===----------------------------------------------------------------------===//
+
+struct GoldenCase {
+  /// Registry rule name this case exercises (meta-test checks coverage).
+  const char *Rule;
+  /// Builds the before-graph.
+  std::function<void(GraphBuilder &)> Build;
+  /// Expected canonical rendering before/after rewriteGraph.
+  const char *Before;
+  const char *After;
+};
+
+AttrMap reduceAttrs() {
+  return AttrMap()
+      .set("axes", std::vector<int64_t>{1})
+      .set("keepdims", int64_t(1));
+}
+
+std::vector<GoldenCase> goldenCases() {
+  std::vector<GoldenCase> C;
+
+  // --- Associative ---------------------------------------------------------
+  C.push_back({"assoc.recip-mul",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({8, 8})), Bv = B.input(Shape({8, 8}));
+                 B.markOutput(B.mul(B.unary(OpKind::Reciprocal, A),
+                                    B.unary(OpKind::Reciprocal, B.mul(A, Bv))));
+               },
+               "Mul(Reciprocal(in0), Reciprocal(Mul(in0, in1)))",
+               "Mul(Square(Reciprocal(in0)), Reciprocal(in1))"});
+  C.push_back({"assoc.sqrt-pair",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4})), Bx = B.input(Shape({4, 4})),
+                        Cv = B.input(Shape({4, 4}));
+                 NodeId S = B.unary(OpKind::Sqrt, Bx);
+                 B.markOutput(B.mul(B.mul(A, S), B.mul(S, Cv)));
+               },
+               "Mul(Mul(in0, Sqrt(in1)), Mul(Sqrt(in1), in2))",
+               "Mul(Mul(in0, in1), in2)"});
+  C.push_back({"assoc.reducesum-pair",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({8, 8})), Bx = B.input(Shape({8, 8})),
+                        Cv = B.input(Shape({8, 8}));
+                 NodeId RS = B.op(OpKind::ReduceSum, {Bx}, reduceAttrs());
+                 B.markOutput(B.mul(B.mul(A, RS), B.mul(RS, Cv)));
+               },
+               "Mul(Mul(in0, ReduceSum{axes=[1];keepdims=1}(in1)), "
+               "Mul(ReduceSum{axes=[1];keepdims=1}(in1), in2))",
+               "Mul(Mul(in0, Square(ReduceSum{axes=[1];keepdims=1}(in1))), "
+               "in2)"});
+  C.push_back({"assoc.abs-pair",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4})), Bx = B.input(Shape({4, 4})),
+                        Cv = B.input(Shape({4, 4}));
+                 B.markOutput(B.mul(B.mul(B.unary(OpKind::Abs, A), Bx),
+                                    B.unary(OpKind::Abs, Cv)));
+               },
+               "Mul(Mul(Abs(in0), in1), Abs(in2))",
+               "Mul(Abs(Mul(in0, in2)), in1)"});
+  C.push_back({"assoc.exp-mul",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4})), Bv = B.input(Shape({4, 4}));
+                 B.markOutput(
+                     B.mul(B.unary(OpKind::Exp, A), B.unary(OpKind::Exp, Bv)));
+               },
+               "Mul(Exp(in0), Exp(in1))", "Exp(Add(in0, in1))"});
+  C.push_back({"assoc.log-add",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4})), Bv = B.input(Shape({4, 4}));
+                 B.markOutput(
+                     B.add(B.unary(OpKind::Log, A), B.unary(OpKind::Log, Bv)));
+               },
+               "Add(Log(in0), Log(in1))", "Log(Mul(in0, in1))"});
+  C.push_back({"assoc.log-sub",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4})), Bv = B.input(Shape({4, 4}));
+                 B.markOutput(
+                     B.sub(B.unary(OpKind::Log, A), B.unary(OpKind::Log, Bv)));
+               },
+               "Sub(Log(in0), Log(in1))", "Log(Div(in0, in1))"});
+  C.push_back({"assoc.mul-self",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 4}));
+                 B.markOutput(B.mul(A, A));
+               },
+               "Mul(in0, in0)", "Square(in0)"});
+
+  // --- Distributive --------------------------------------------------------
+  C.push_back({"dist.factor-common",
+               [](GraphBuilder &B) {
+                 NodeId X = B.input(Shape({6, 6})), Y = B.input(Shape({6, 6})),
+                        Z = B.input(Shape({6, 6}));
+                 B.markOutput(B.add(B.mul(X, Y), B.mul(X, Z)));
+               },
+               "Add(Mul(in0, in1), Mul(in0, in2))",
+               "Mul(in0, Add(in1, in2))"});
+  C.push_back({"dist.div-common",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({6, 6})), Bv = B.input(Shape({6, 6})),
+                        D = B.input(Shape({6, 6}));
+                 B.markOutput(B.add(B.div(A, D), B.div(Bv, D)));
+               },
+               "Add(Div(in0, in2), Div(in1, in2))",
+               "Div(Add(in0, in1), in2)"});
+  C.push_back({"dist.add-self-mul",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({6, 6})), Bv = B.input(Shape({6, 6}));
+                 B.markOutput(B.add(A, B.mul(A, Bv)));
+               },
+               "Add(in0, Mul(in0, in1))", "Mul(in0, Add(in1, const[1]))"});
+  C.push_back({"dist.square-sub",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({6, 6})), Bv = B.input(Shape({6, 6})),
+                        Cv = B.input(Shape({6, 6}));
+                 NodeId S = B.add(A, Bv);
+                 B.markOutput(B.sub(B.unary(OpKind::Square, S), B.mul(S, Cv)));
+               },
+               "Sub(Square(Add(in0, in1)), Mul(Add(in0, in1), in2))",
+               "Mul(Add(in0, in1), Sub(Add(in0, in1), in2))"});
+
+  // --- Commutative: reductions past cheap elementwise ----------------------
+  C.push_back({"comm.reducesum-bitshift",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 NodeId Sh = B.op(OpKind::BitShift, {A},
+                                  AttrMap()
+                                      .set("bits", int64_t(2))
+                                      .set("direction", int64_t(0)));
+                 B.markOutput(B.op(OpKind::ReduceSum, {Sh}, reduceAttrs()));
+               },
+               "ReduceSum{axes=[1];keepdims=1}(BitShift{bits=2;direction=0}"
+               "(in0))",
+               "BitShift{bits=2;direction=0}(ReduceSum{axes=[1];keepdims=1}"
+               "(in0))"});
+  C.push_back({"comm.reduceprod-exp",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceProd,
+                                   {B.unary(OpKind::Exp, A)}, reduceAttrs()));
+               },
+               "ReduceProd{axes=[1];keepdims=1}(Exp(in0))",
+               "Exp(ReduceSum{axes=[1];keepdims=1}(in0))"});
+  C.push_back({"comm.reducesum-neg",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceSum, {B.unary(OpKind::Neg, A)},
+                                   reduceAttrs()));
+               },
+               "ReduceSum{axes=[1];keepdims=1}(Neg(in0))",
+               "Neg(ReduceSum{axes=[1];keepdims=1}(in0))"});
+  C.push_back({"comm.reducemean-neg",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMean,
+                                   {B.unary(OpKind::Neg, A)}, reduceAttrs()));
+               },
+               "ReduceMean{axes=[1];keepdims=1}(Neg(in0))",
+               "Neg(ReduceMean{axes=[1];keepdims=1}(in0))"});
+  C.push_back({"comm.reducesum-mul-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceSum,
+                                   {B.mul(A, B.scalar(2.0f))}, reduceAttrs()));
+               },
+               "ReduceSum{axes=[1];keepdims=1}(Mul(in0, const[2]))",
+               "Mul(ReduceSum{axes=[1];keepdims=1}(in0), const[2])"});
+  C.push_back({"comm.reducesum-div-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceSum,
+                                   {B.div(A, B.scalar(2.0f))}, reduceAttrs()));
+               },
+               "ReduceSum{axes=[1];keepdims=1}(Div(in0, const[2]))",
+               "Div(ReduceSum{axes=[1];keepdims=1}(in0), const[2])"});
+  C.push_back({"comm.reducemean-mul-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMean,
+                                   {B.mul(A, B.scalar(2.0f))}, reduceAttrs()));
+               },
+               "ReduceMean{axes=[1];keepdims=1}(Mul(in0, const[2]))",
+               "Mul(ReduceMean{axes=[1];keepdims=1}(in0), const[2])"});
+  C.push_back({"comm.reducemean-add-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMean,
+                                   {B.add(A, B.scalar(2.0f))}, reduceAttrs()));
+               },
+               "ReduceMean{axes=[1];keepdims=1}(Add(in0, const[2]))",
+               "Add(ReduceMean{axes=[1];keepdims=1}(in0), const[2])"});
+  C.push_back({"comm.reducemean-sub-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMean,
+                                   {B.sub(A, B.scalar(2.0f))}, reduceAttrs()));
+               },
+               "ReduceMean{axes=[1];keepdims=1}(Sub(in0, const[2]))",
+               "Sub(ReduceMean{axes=[1];keepdims=1}(in0), const[2])"});
+  C.push_back({"comm.reducemax-mul-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMax,
+                                   {B.mul(A, B.scalar(0.5f))}, reduceAttrs()));
+               },
+               "ReduceMax{axes=[1];keepdims=1}(Mul(in0, const[0.5]))",
+               "Mul(ReduceMax{axes=[1];keepdims=1}(in0), const[0.5])"});
+  C.push_back({"comm.reducemin-mul-scalar",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({4, 8}));
+                 B.markOutput(B.op(OpKind::ReduceMin,
+                                   {B.mul(A, B.scalar(0.5f))}, reduceAttrs()));
+               },
+               "ReduceMin{axes=[1];keepdims=1}(Mul(in0, const[0.5]))",
+               "Mul(ReduceMin{axes=[1];keepdims=1}(in0), const[0.5])"});
+
+  // --- Commutative: inverse pairs, unary pairs, idempotence ----------------
+  auto Unary2 = [](OpKind Outer, OpKind Inner) {
+    return [Outer, Inner](GraphBuilder &B) {
+      B.markOutput(B.unary(Outer, B.unary(Inner, B.input(Shape({4, 4})))));
+    };
+  };
+  C.push_back({"comm.log-exp", Unary2(OpKind::Log, OpKind::Exp),
+               "Log(Exp(in0))", "in0"});
+  C.push_back({"comm.exp-log", Unary2(OpKind::Exp, OpKind::Log),
+               "Exp(Log(in0))", "in0"});
+  C.push_back({"comm.recip-recip",
+               Unary2(OpKind::Reciprocal, OpKind::Reciprocal),
+               "Reciprocal(Reciprocal(in0))", "in0"});
+  C.push_back({"comm.neg-neg", Unary2(OpKind::Neg, OpKind::Neg),
+               "Neg(Neg(in0))", "in0"});
+  C.push_back({"comm.square-sqrt", Unary2(OpKind::Square, OpKind::Sqrt),
+               "Square(Sqrt(in0))", "in0"});
+  C.push_back({"comm.sqrt-square", Unary2(OpKind::Sqrt, OpKind::Square),
+               "Sqrt(Square(in0))", "Abs(in0)"});
+  C.push_back({"comm.abs-neg", Unary2(OpKind::Abs, OpKind::Neg),
+               "Abs(Neg(in0))", "Abs(in0)"});
+  C.push_back({"comm.square-neg", Unary2(OpKind::Square, OpKind::Neg),
+               "Square(Neg(in0))", "Square(in0)"});
+  C.push_back({"comm.square-abs", Unary2(OpKind::Square, OpKind::Abs),
+               "Square(Abs(in0))", "Square(in0)"});
+  C.push_back({"comm.relu-relu", Unary2(OpKind::Relu, OpKind::Relu),
+               "Relu(Relu(in0))", "Relu(in0)"});
+  C.push_back({"comm.abs-abs", Unary2(OpKind::Abs, OpKind::Abs),
+               "Abs(Abs(in0))", "Abs(in0)"});
+  C.push_back({"comm.ceil-ceil", Unary2(OpKind::Ceil, OpKind::Ceil),
+               "Ceil(Ceil(in0))", "Ceil(in0)"});
+  C.push_back({"comm.floor-floor", Unary2(OpKind::Floor, OpKind::Floor),
+               "Floor(Floor(in0))", "Floor(in0)"});
+  C.push_back({"comm.round-round", Unary2(OpKind::Round, OpKind::Round),
+               "Round(Round(in0))", "Round(in0)"});
+
+  // --- Canonicalization ----------------------------------------------------
+  auto PowCase = [](float Expo) {
+    return [Expo](GraphBuilder &B) {
+      B.markOutput(
+          B.binary(OpKind::Pow, B.input(Shape({4})), B.scalar(Expo)));
+    };
+  };
+  C.push_back({"canon.pow-two", PowCase(2.0f), "Pow(in0, const[2])",
+               "Square(in0)"});
+  C.push_back({"canon.pow-half", PowCase(0.5f), "Pow(in0, const[0.5])",
+               "Sqrt(in0)"});
+  C.push_back({"canon.pow-one", PowCase(1.0f), "Pow(in0, const[1])", "in0"});
+  C.push_back({"canon.pow-neg-one", PowCase(-1.0f), "Pow(in0, const[-1])",
+               "Reciprocal(in0)"});
+  C.push_back({"canon.mul-one",
+               [](GraphBuilder &B) {
+                 B.markOutput(B.mul(B.input(Shape({4})), B.scalar(1.0f)));
+               },
+               "Mul(in0, const[1])", "in0"});
+  C.push_back({"canon.add-zero",
+               [](GraphBuilder &B) {
+                 B.markOutput(B.add(B.input(Shape({4})), B.scalar(0.0f)));
+               },
+               "Add(in0, const[0])", "in0"});
+  C.push_back({"canon.sub-zero",
+               [](GraphBuilder &B) {
+                 B.markOutput(B.sub(B.input(Shape({4})), B.scalar(0.0f)));
+               },
+               "Sub(in0, const[0])", "in0"});
+  C.push_back({"canon.div-one",
+               [](GraphBuilder &B) {
+                 B.markOutput(B.div(B.input(Shape({4})), B.scalar(1.0f)));
+               },
+               "Div(in0, const[1])", "in0"});
+  C.push_back({"canon.identity-elim",
+               [](GraphBuilder &B) {
+                 B.markOutput(B.unary(OpKind::Identity,
+                                      B.relu(B.input(Shape({4})))));
+               },
+               "Identity(Relu(in0))", "Relu(in0)"});
+  C.push_back({"canon.transpose-pair",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({2, 3, 4}));
+                 B.markOutput(
+                     B.relu(B.transpose(B.transpose(A, {1, 0, 2}), {2, 0, 1})));
+               },
+               "Relu(Transpose{perm=[2, 0, 1]}(Transpose{perm=[1, 0, 2]}"
+               "(in0)))",
+               "Relu(Transpose{perm=[2, 1, 0]}(in0))"});
+  C.push_back({"canon.transpose-identity",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({2, 3, 4}));
+                 B.markOutput(B.relu(B.transpose(A, {0, 1, 2})));
+               },
+               "Relu(Transpose{perm=[0, 1, 2]}(in0))", "Relu(in0)"});
+  C.push_back({"canon.reorganize-pair",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({2, 3, 4}));
+                 B.markOutput(B.relu(B.reshape(B.reshape(A, {6, 4}), {24})));
+               },
+               "Relu(Reshape{shape=[24]}(Reshape{shape=[6, 4]}(in0)))",
+               "Relu(Reshape{shape=[24]}(in0))"});
+  C.push_back({"canon.reorganize-noop",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({2, 3, 4}));
+                 B.markOutput(B.relu(B.reshape(A, {2, 3, 4})));
+               },
+               "Relu(Reshape{shape=[2, 3, 4]}(in0))", "Relu(in0)"});
+  C.push_back({"canon.concat-single",
+               [](GraphBuilder &B) {
+                 NodeId A = B.input(Shape({2, 3}));
+                 B.markOutput(B.relu(B.op(OpKind::Concat, {A},
+                                          AttrMap().set("axis", int64_t(0)))));
+               },
+               "Relu(Concat{axis=0}(in0))", "Relu(in0)"});
+
+  // --- Folding -------------------------------------------------------------
+  C.push_back({"fold.conv-batchnorm",
+               [](GraphBuilder &B) {
+                 NodeId X = B.input(Shape({1, 3, 8, 8}));
+                 B.markOutput(B.relu(B.batchNorm(B.conv(X, 4, {3, 3}))));
+               },
+               "Relu(BatchNormalization{epsilon=1e-05}(Conv(in0, "
+               "const[4x3x3x3], const[4]), const[4], const[4], const[4], "
+               "const[4]))",
+               "Relu(Conv(in0, const[4x3x3x3], const[4]))"});
+  C.push_back({"fold.mul-scalar-conv",
+               [](GraphBuilder &B) {
+                 NodeId X = B.input(Shape({1, 2, 6, 6}));
+                 B.markOutput(B.mul(B.conv(X, 4, {3, 3}), B.scalar(0.5f)));
+               },
+               "Mul(Conv(in0, const[4x2x3x3], const[4]), const[0.5])",
+               "Conv(in0, const[4x2x3x3], const[4])"});
+
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Tests
+//===----------------------------------------------------------------------===//
+
+class RewriteGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriteGolden, BeforeAndAfterMatchGolden) {
+  GoldenCase Case = goldenCases()[static_cast<size_t>(GetParam())];
+  GraphBuilder B(1);
+  Case.Build(B);
+  Graph G = B.take();
+  EXPECT_EQ(graphExpr(G), Case.Before) << "rule " << Case.Rule;
+  rewriteGraph(G);
+  G.verify();
+  EXPECT_EQ(graphExpr(G), Case.After) << "rule " << Case.Rule;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, RewriteGolden,
+    ::testing::Range(0, static_cast<int>(goldenCases().size())),
+    [](const ::testing::TestParamInfo<int> &Info) {
+      std::string Name =
+          goldenCases()[static_cast<size_t>(Info.param)].Rule;
+      std::replace(Name.begin(), Name.end(), '.', '_');
+      std::replace(Name.begin(), Name.end(), '-', '_');
+      return Name;
+    });
+
+TEST(RewriteGoldenMeta, EveryRegisteredRuleHasAGolden) {
+  std::set<std::string> Covered;
+  for (const GoldenCase &Case : goldenCases())
+    Covered.insert(Case.Rule);
+  std::set<std::string> Registered;
+  for (const RewriteRule &Rule : allRewriteRules())
+    Registered.insert(Rule.name());
+  std::vector<std::string> MissingGolden, UnknownRule;
+  std::set_difference(Registered.begin(), Registered.end(), Covered.begin(),
+                      Covered.end(), std::back_inserter(MissingGolden));
+  std::set_difference(Covered.begin(), Covered.end(), Registered.begin(),
+                      Registered.end(), std::back_inserter(UnknownRule));
+  EXPECT_TRUE(MissingGolden.empty())
+      << "rules without a golden case: " << joinStrings(MissingGolden, ", ");
+  EXPECT_TRUE(UnknownRule.empty())
+      << "golden cases naming unknown rules: "
+      << joinStrings(UnknownRule, ", ");
+}
+
+/// Rules guarded by value preconditions must not fire when the guard fails:
+/// commuting Mul past ReduceMax/ReduceMin is only sound for positive
+/// scalars.
+TEST(RewriteGoldenNegative, ReduceMaxMulNegativeScalarDoesNotCommute) {
+  GraphBuilder B(1);
+  NodeId A = B.input(Shape({4, 8}));
+  B.markOutput(
+      B.op(OpKind::ReduceMax, {B.mul(A, B.scalar(-2.0f))}, reduceAttrs()));
+  Graph G = B.take();
+  rewriteGraph(G);
+  EXPECT_EQ(graphExpr(G),
+            "ReduceMax{axes=[1];keepdims=1}(Mul(in0, const[-2]))");
+}
+
+TEST(RewriteGoldenNegative, SharedOperandBlocksOneUseRules) {
+  // Sqrt consumed by a third user: assoc.sqrt-pair's numUses==2 check must
+  // keep the rewrite from firing.
+  GraphBuilder B(1);
+  NodeId A = B.input(Shape({4, 4})), Bx = B.input(Shape({4, 4})),
+         Cv = B.input(Shape({4, 4}));
+  NodeId S = B.unary(OpKind::Sqrt, Bx);
+  B.markOutput(B.mul(B.mul(A, S), B.mul(S, Cv)));
+  B.markOutput(B.relu(S)); // Third use.
+  Graph G = B.take();
+  rewriteGraph(G);
+  EXPECT_EQ(graphExpr(G),
+            "Mul(Mul(in0, Sqrt(in1)), Mul(Sqrt(in1), in2)) | Relu(Sqrt(in1))");
+}
+
+} // namespace

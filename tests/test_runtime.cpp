@@ -107,8 +107,9 @@ TEST(MemoryPlanner, LiveBuffersNeverOverlap) {
       bool LifetimesOverlap = A.Born <= B.Dies && B.Born <= A.Dies;
       bool SpaceOverlaps = A.Offset < B.Offset + B.Bytes &&
                            B.Offset < A.Offset + A.Bytes;
-      if (LifetimesOverlap)
+      if (LifetimesOverlap) {
         EXPECT_FALSE(SpaceOverlaps) << "buffers " << I << " and " << J;
+      }
     }
   EXPECT_GT(Mem.ArenaBytes, 0);
 }

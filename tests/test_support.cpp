@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <set>
@@ -17,6 +19,12 @@
 using namespace dnnfusion;
 
 namespace {
+
+/// Per-process temp path so concurrent runs of this binary (e.g. parallel
+/// CI jobs on one machine) cannot corrupt each other's fixtures.
+std::string tempPath(const char *Name) {
+  return formatString("/tmp/dnnf_%d_%s", static_cast<int>(getpid()), Name);
+}
 
 TEST(StringUtils, FormatString) {
   EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
@@ -115,7 +123,7 @@ TEST(TablePrinter, AlignsColumns) {
 }
 
 TEST(KeyValueFile, RoundTrip) {
-  std::string Path = "/tmp/dnnf_kv_test.txt";
+  std::string Path = tempPath("kv_test.txt");
   std::map<std::string, std::string> In = {{"a", "1"}, {"b", "x=y? no"},
                                            {"key with space", "v"}};
   // '=' in values survives (only the first '=' splits).
@@ -143,6 +151,219 @@ TEST(Timer, Monotonic) {
 
 TEST(ErrorDeath, CheckMacroAborts) {
   EXPECT_DEATH(DNNF_CHECK(false, "boom %d", 42), "boom 42");
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils: edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, FormatStringLongerThanAnyInternalBuffer) {
+  std::string Big(10000, 'x');
+  std::string Out = formatString("<%s>", Big.c_str());
+  EXPECT_EQ(Out.size(), Big.size() + 2);
+  EXPECT_EQ(Out.front(), '<');
+  EXPECT_EQ(Out.back(), '>');
+  EXPECT_EQ(Out.substr(1, Big.size()), Big);
+}
+
+TEST(StringUtils, SplitOnAbsentSeparator) {
+  EXPECT_EQ(splitString("abc", 'x'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(splitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtils, JoinEdgeCases) {
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"only"}, ", "), "only");
+  EXPECT_EQ(joinStrings({"a", "", "c"}, "-"), "a--c");
+}
+
+TEST(StringUtils, TrimHandlesCarriageReturns) {
+  EXPECT_EQ(trimString("\r\n a=b \r\n"), "a=b");
+  EXPECT_EQ(trimString("no-trim"), "no-trim");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(StringUtils, ParseIntListToleratesWhitespaceAndBrackets) {
+  EXPECT_EQ(parseIntList(" [ 1 , -2 , 3 ] "),
+            (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(parseIntList("7"), (std::vector<int64_t>{7}));
+  EXPECT_TRUE(parseIntList("   ").empty());
+}
+
+TEST(StringUtilsDeath, ParseIntListRejectsMalformedInput) {
+  EXPECT_DEATH(parseIntList("[1, two, 3]"), "malformed integer");
+  EXPECT_DEATH(parseIntList("1,,2"), "empty element");
+}
+
+TEST(StringUtils, IntsToStringFormatsLikeSignatures) {
+  EXPECT_EQ(intsToString({}), "[]");
+  EXPECT_EQ(intsToString({5}), "[5]");
+  EXPECT_EQ(intsToString({1, 2, 3}), "[1, 2, 3]");
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool: the class itself (the wrapper is covered above)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ExplicitSizeIsHonored) {
+  ThreadPool One(1), Four(4);
+  EXPECT_EQ(One.numThreads(), 1u);
+  EXPECT_EQ(Four.numThreads(), 4u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool Pool(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::thread::id Seen;
+  Pool.parallelFor(1 << 20, [&](int64_t, int64_t) {
+    Seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(Seen, Caller);
+}
+
+TEST(ThreadPool, SliceBoundariesAreDeterministic) {
+  // Slice boundaries must depend only on the trip count and pool size —
+  // never on scheduling — so instrumentation counters are reproducible.
+  ThreadPool Pool(4);
+  auto Collect = [&](int64_t Count) {
+    std::mutex M;
+    std::vector<std::pair<int64_t, int64_t>> Slices;
+    Pool.parallelFor(Count, [&](int64_t Begin, int64_t End) {
+      std::lock_guard<std::mutex> Lock(M);
+      Slices.emplace_back(Begin, End);
+    });
+    std::sort(Slices.begin(), Slices.end());
+    return Slices;
+  };
+  int64_t Count = 100000;
+  auto A = Collect(Count), B = Collect(Count);
+  EXPECT_EQ(A, B);
+  // Slices tile [0, Count) exactly.
+  int64_t Expected = 0;
+  for (const auto &[Begin, End] : A) {
+    EXPECT_EQ(Begin, Expected);
+    EXPECT_LT(Begin, End);
+    Expected = End;
+  }
+  EXPECT_EQ(Expected, Count);
+  EXPECT_GT(A.size(), 1u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<int64_t> Sum{0};
+    Pool.parallelFor(20000, [&](int64_t Begin, int64_t End) {
+      int64_t Local = 0;
+      for (int64_t I = Begin; I < End; ++I)
+        Local += I;
+      Sum += Local;
+    });
+    EXPECT_EQ(Sum.load(), int64_t(20000) * 19999 / 2);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().numThreads(), 1u);
+  EXPECT_LE(ThreadPool::global().numThreads(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter: exact rendering
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinter, ExactRendering) {
+  TablePrinter T({"op", "ms"});
+  T.addRow({"Conv", "1.5"});
+  T.addRow({"Add", "10.25"});
+  // Columns pad to the widest cell plus two spaces; the separator spans the
+  // full width; the last column is not padded.
+  EXPECT_EQ(T.render(), "op    ms\n"
+                        "-----------\n"
+                        "Conv  1.5\n"
+                        "Add   10.25\n");
+}
+
+TEST(TablePrinter, HeaderOnlyTable) {
+  TablePrinter T({"a", "bb"});
+  EXPECT_EQ(T.render(), "a  bb\n-----\n");
+}
+
+TEST(TablePrinter, SingleColumnHasNoPadding) {
+  TablePrinter T({"col"});
+  T.addRow({"a-very-long-cell"});
+  EXPECT_EQ(T.render(), "col\n----------------\na-very-long-cell\n");
+}
+
+TEST(TablePrinterDeath, MismatchedRowArityAborts) {
+  TablePrinter T({"a", "b"});
+  EXPECT_DEATH(T.addRow({"only-one"}), "row arity");
+}
+
+//===----------------------------------------------------------------------===//
+// KeyValueFile: formats and failure modes
+//===----------------------------------------------------------------------===//
+
+TEST(KeyValueFile, SkipsCommentsAndBlankLines) {
+  std::string Path = tempPath("kv_comments.txt");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("# a comment\n\nkey=value\n   \n# another\nk2=v2\n", F);
+  std::fclose(F);
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(loadKeyValueFile(Path, Out));
+  EXPECT_EQ(Out, (std::map<std::string, std::string>{{"key", "value"},
+                                                     {"k2", "v2"}}));
+  std::remove(Path.c_str());
+}
+
+TEST(KeyValueFile, OnlyFirstEqualsSplits) {
+  std::string Path = tempPath("kv_equals.txt");
+  std::map<std::string, std::string> In = {{"expr", "a=b=c"}};
+  ASSERT_TRUE(storeKeyValueFile(Path, In));
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(loadKeyValueFile(Path, Out));
+  EXPECT_EQ(Out["expr"], "a=b=c");
+  std::remove(Path.c_str());
+}
+
+TEST(KeyValueFile, StoreWritesSortedKeys) {
+  std::string Path = tempPath("kv_sorted.txt");
+  ASSERT_TRUE(storeKeyValueFile(Path, {{"zeta", "1"}, {"alpha", "2"}}));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buffer[256] = {0};
+  size_t Got = std::fread(Buffer, 1, sizeof(Buffer) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buffer, Got), "alpha=2\nzeta=1\n");
+  std::remove(Path.c_str());
+}
+
+TEST(KeyValueFile, StoreOverwritesExistingFile) {
+  std::string Path = tempPath("kv_overwrite.txt");
+  ASSERT_TRUE(storeKeyValueFile(Path, {{"old", "1"}, {"stale", "2"}}));
+  ASSERT_TRUE(storeKeyValueFile(Path, {{"fresh", "3"}}));
+  std::map<std::string, std::string> Out;
+  ASSERT_TRUE(loadKeyValueFile(Path, Out));
+  EXPECT_EQ(Out, (std::map<std::string, std::string>{{"fresh", "3"}}));
+  std::remove(Path.c_str());
+}
+
+TEST(KeyValueFile, StoreToUnwritablePathReturnsFalse) {
+  EXPECT_FALSE(
+      storeKeyValueFile("/nonexistent-dir/dnnf.txt", {{"a", "1"}}));
+}
+
+TEST(KeyValueFileDeath, MalformedLineAborts) {
+  std::string Path = tempPath("kv_malformed.txt");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("no-equals-sign-here\n", F);
+  std::fclose(F);
+  std::map<std::string, std::string> Out;
+  EXPECT_DEATH(loadKeyValueFile(Path, Out), "malformed line");
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -41,10 +41,11 @@ TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
     // non-red combination under Table 3.
     for (NodeId Id : B.Members)
       for (NodeId In : M.G.node(Id).Inputs)
-        if (B.contains(In))
+        if (B.contains(In)) {
           EXPECT_NE(fusionVerdict(E.mappingType(In), E.mappingType(Id)),
                     FusionVerdict::FuseBreak)
               << entry().Info.Name << " node " << Id;
+        }
   }
 }
 
