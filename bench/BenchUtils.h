@@ -19,7 +19,7 @@
 #include "models/ModelZoo.h"
 #include "runtime/CacheSim.h"
 #include "runtime/DeviceModel.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
@@ -106,10 +106,21 @@ inline std::vector<Tensor> makeInputs(const CompiledModel &M, uint64_t Seed) {
   return Inputs;
 }
 
-/// Median wall time of \p Repeats runs (after one warm-up).
+/// Sequential-dispatch execution options: the paper's figures measure the
+/// per-kernel pipeline itself, so block-level overlap must stay out of
+/// their timings unless a bench opts in explicitly.
+inline ExecutionOptions sequentialExec() {
+  ExecutionOptions Exec;
+  Exec.Mode = ExecutionOptions::Schedule::Sequential;
+  return Exec;
+}
+
+/// Median wall time of \p Repeats runs (after one warm-up). Defaults to
+/// strictly sequential block dispatch (see sequentialExec).
 inline double medianLatencyMs(const CompiledModel &M, int Repeats = 3,
-                              ExecutionStats *Stats = nullptr) {
-  Executor E(M);
+                              ExecutionStats *Stats = nullptr,
+                              const ExecutionOptions &Exec = sequentialExec()) {
+  ExecutionContext E(M, Exec);
   std::vector<Tensor> Inputs = makeInputs(M, 11);
   E.run(Inputs, Stats); // Warm-up (also fills Stats counters).
   std::vector<double> Times;

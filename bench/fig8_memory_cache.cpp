@@ -23,7 +23,7 @@ struct Measurement {
 Measurement measure(const CompiledModel &M) {
   Measurement R;
   ExecutionStats Stats;
-  Executor E(M);
+  ExecutionContext E(M);
   std::vector<Tensor> Inputs = makeInputs(M, 3);
   E.run(Inputs, &Stats);
   R.MemoryAccesses = Stats.MainBytesRead + Stats.MainBytesWritten;

@@ -9,7 +9,7 @@
 
 #include "graph/GraphBuilder.h"
 #include "ops/Kernels.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <benchmark/benchmark.h>
@@ -31,7 +31,7 @@ Graph elementwiseChain(int64_t N, int Depth) {
 }
 
 void runModel(benchmark::State &State, const CompiledModel &M) {
-  Executor E(M);
+  ExecutionContext E(M);
   Rng R(3);
   std::vector<Tensor> Inputs;
   for (NodeId Id : M.InputIds) {

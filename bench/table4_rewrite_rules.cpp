@@ -11,7 +11,7 @@
 
 #include "core/GraphRewriter.h"
 #include "graph/GraphBuilder.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 
 using namespace dnnfusion;
 using namespace dnnfusion::bench;
@@ -119,7 +119,7 @@ bool outputsAgree(const Graph &Before, const Graph &After) {
     Opt.EnableFusion = false;
     Opt.EnableOtherOpts = false;
     CompiledModel Model = compileModel(G, Opt);
-    Executor E(Model);
+    ExecutionContext E(Model);
     Rng Ri(7);
     std::vector<Tensor> Inputs;
     for (NodeId Id : Model.InputIds) {

@@ -8,7 +8,7 @@
 
 #include "core/CodeEmitter.h"
 #include "graph/GraphBuilder.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>

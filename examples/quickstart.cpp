@@ -8,7 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "graph/GraphBuilder.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
@@ -43,7 +43,7 @@ int main() {
   Rng R(7);
   Tensor Image(Shape({1, 3, 32, 32}));
   fillRandom(Image, R);
-  Executor E(Model);
+  ExecutionContext E(Model);
   ExecutionStats Stats;
   std::vector<Tensor> Outputs = E.run({Image}, &Stats);
   std::printf("ran in %.3f ms: %lld kernel launches, %.2f KB intermediate "
@@ -66,7 +66,7 @@ int main() {
   Off.EnableFusion = false;
   Off.EnableOtherOpts = false;
   CompiledModel Baseline = compileModel(B2.take(), Off);
-  Executor E2(Baseline);
+  ExecutionContext E2(Baseline);
   ExecutionStats S2;
   std::vector<Tensor> Ref = E2.run({Image}, &S2);
   std::printf("baseline: %lld launches, %.2f KB traffic; outputs agree: %s\n",

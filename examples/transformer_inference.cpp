@@ -9,7 +9,7 @@
 
 #include "models/ModelZoo.h"
 #include "runtime/DeviceModel.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
@@ -19,7 +19,7 @@ using namespace dnnfusion;
 namespace {
 
 double timeModel(const CompiledModel &M) {
-  Executor E(M);
+  ExecutionContext E(M);
   Rng R(3);
   std::vector<Tensor> Inputs;
   for (NodeId Id : M.InputIds) {

@@ -8,7 +8,7 @@
 
 #include "baselines/FixedPatternFuser.h"
 #include "models/ModelZoo.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
@@ -27,7 +27,7 @@ int main() {
   fillRandom(Image, R);
 
   auto Report = [&](const char *Name, CompiledModel M) {
-    Executor E(M);
+    ExecutionContext E(M);
     ExecutionStats Stats;
     E.run({Image}, &Stats); // Warm-up.
     E.run({Image}, &Stats);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Emits the end-to-end perf trajectory (BENCH_e2e.json): per-model wall
+# latency of the fully optimized pipeline under sequential vs wavefront
+# block dispatch. CI uploads the file as an artifact on every run so the
+# numbers accumulate into a history; usable locally:
+#
+#   ./scripts/bench_json.sh                 # build/ + BENCH_e2e.json
+#   ./scripts/bench_json.sh build-release out.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_e2e.json}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_fig7_breakdown -j "$JOBS"
+
+"$BUILD_DIR/bench_fig7_breakdown" --json "$OUT"
+echo "Perf trajectory written to $OUT"

@@ -4,6 +4,8 @@
 #
 #   ./scripts/ci.sh            # both configurations
 #   ./scripts/ci.sh Debug      # one configuration
+#   ./scripts/ci.sh tsan       # ThreadSanitizer build, smoke subset only
+#                              # (guards the wavefront/serving concurrency)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +17,18 @@ if [ "$#" -eq 0 ]; then
 fi
 
 for CONFIG in "${CONFIGS[@]}"; do
+  if [ "$CONFIG" = "tsan" ]; then
+    BUILD_DIR="build-ci-tsan"
+    echo "=== [tsan] configure ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DDNNFUSION_TSAN=ON -DDNNFUSION_BUILD_BENCH=OFF \
+          -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [tsan] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    echo "=== [tsan] smoke tests under ThreadSanitizer ==="
+    ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+    continue
+  fi
   BUILD_DIR="build-ci-${CONFIG,,}"
   echo "=== [$CONFIG] configure ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$CONFIG"

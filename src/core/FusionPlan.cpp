@@ -88,6 +88,87 @@ void FusionPlan::verify(const Graph &G) const {
       }
 }
 
+int64_t BlockSchedule::maxWidth() const {
+  size_t Width = 0;
+  for (const std::vector<int> &Level : Levels)
+    Width = std::max(Width, Level.size());
+  return static_cast<int64_t>(Width);
+}
+
+void BlockSchedule::verify(const FusionPlan &Plan) const {
+  size_t NumBlocks = Plan.Blocks.size();
+  DNNF_CHECK(PredecessorCount.size() == NumBlocks &&
+                 Successors.size() == NumBlocks &&
+                 LevelOfBlock.size() == NumBlocks,
+             "schedule arrays do not cover all %zu blocks", NumBlocks);
+  std::vector<int> SeenAtLevel(NumBlocks, -1);
+  for (size_t L = 0; L < Levels.size(); ++L) {
+    DNNF_CHECK(!Levels[L].empty(), "empty wavefront level %zu", L);
+    for (int BI : Levels[L]) {
+      DNNF_CHECK(BI >= 0 && static_cast<size_t>(BI) < NumBlocks,
+                 "level %zu references block %d out of range", L, BI);
+      DNNF_CHECK(SeenAtLevel[static_cast<size_t>(BI)] < 0,
+                 "block %d assigned to two levels", BI);
+      SeenAtLevel[static_cast<size_t>(BI)] = static_cast<int>(L);
+      DNNF_CHECK(LevelOfBlock[static_cast<size_t>(BI)] ==
+                     static_cast<int>(L),
+                 "LevelOfBlock inconsistent for block %d", BI);
+    }
+  }
+  int64_t Edges = 0;
+  for (size_t BI = 0; BI < NumBlocks; ++BI) {
+    DNNF_CHECK(SeenAtLevel[BI] >= 0, "block %zu not assigned a level", BI);
+    for (int Succ : Successors[BI]) {
+      DNNF_CHECK(LevelOfBlock[static_cast<size_t>(Succ)] >
+                     LevelOfBlock[BI],
+                 "edge %zu -> %d does not increase the level", BI, Succ);
+      ++Edges;
+    }
+  }
+  int64_t Preds = 0;
+  for (int C : PredecessorCount)
+    Preds += C;
+  DNNF_CHECK(Preds == Edges, "predecessor counts (%lld) != edges (%lld)",
+             static_cast<long long>(Preds), static_cast<long long>(Edges));
+}
+
+BlockSchedule dnnfusion::computeBlockSchedule(const Graph &G,
+                                              const FusionPlan &Plan) {
+  size_t NumBlocks = Plan.Blocks.size();
+  BlockSchedule S;
+  S.PredecessorCount.assign(NumBlocks, 0);
+  S.Successors.resize(NumBlocks);
+  S.LevelOfBlock.assign(NumBlocks, 0);
+
+  // One forward sweep: distinct predecessor blocks (via the plan's
+  // node->block map) and longest-path levels. Plan order is topological
+  // (verify() checks), so every predecessor's level is already settled;
+  // successors come out ascending because BI grows monotonically.
+  int MaxLevel = -1;
+  for (size_t BI = 0; BI < NumBlocks; ++BI) {
+    std::set<int> Preds;
+    for (NodeId Id : Plan.Blocks[BI].Members)
+      for (NodeId In : G.node(Id).Inputs) {
+        int PB = Plan.BlockOfNode[static_cast<size_t>(In)];
+        if (PB >= 0 && PB != static_cast<int>(BI))
+          Preds.insert(PB);
+      }
+    S.PredecessorCount[BI] = static_cast<int>(Preds.size());
+    int Level = 0;
+    for (int PB : Preds) {
+      S.Successors[static_cast<size_t>(PB)].push_back(static_cast<int>(BI));
+      Level = std::max(Level, S.LevelOfBlock[static_cast<size_t>(PB)] + 1);
+    }
+    S.LevelOfBlock[BI] = Level;
+    MaxLevel = std::max(MaxLevel, Level);
+  }
+  S.Levels.resize(static_cast<size_t>(MaxLevel + 1));
+  for (size_t BI = 0; BI < NumBlocks; ++BI)
+    S.Levels[static_cast<size_t>(S.LevelOfBlock[BI])].push_back(
+        static_cast<int>(BI));
+  return S;
+}
+
 LatencyOracle::~LatencyOracle() = default;
 
 double CostModelOracle::blockLatencyMs(const Graph &G,

@@ -69,6 +69,37 @@ struct FusionPlan {
   void verify(const Graph &G) const;
 };
 
+/// The inter-block dependency DAG of a fusion plan and its wavefront
+/// (level) partition, computed once at compile time. Level L holds every
+/// block whose longest dependency chain from a source block has length L,
+/// so all blocks within one level are mutually independent and may execute
+/// concurrently — the dispatch unit of the wavefront executor.
+struct BlockSchedule {
+  /// Number of distinct predecessor blocks per block (blocks whose outputs
+  /// the block consumes). Zero = source block, ready immediately.
+  std::vector<int> PredecessorCount;
+  /// Distinct successor block indices per block, ascending.
+  std::vector<std::vector<int>> Successors;
+  /// Wavefront level per block: 0 for source blocks, otherwise
+  /// 1 + max(level of predecessors).
+  std::vector<int> LevelOfBlock;
+  /// Block indices per level, ascending within each level.
+  std::vector<std::vector<int>> Levels;
+
+  int64_t numLevels() const { return static_cast<int64_t>(Levels.size()); }
+  /// Widest level: the peak inter-block parallelism the plan exposes.
+  int64_t maxWidth() const;
+
+  /// Checks internal consistency against \p Plan: levels partition the
+  /// blocks, every edge goes to a strictly higher level, and predecessor
+  /// counts match the successor lists. Aborts on violation.
+  void verify(const FusionPlan &Plan) const;
+};
+
+/// Computes the dependency DAG + level partition of \p Plan over \p G.
+/// Requires a verified plan (BlockOfNode populated).
+BlockSchedule computeBlockSchedule(const Graph &G, const FusionPlan &Plan);
+
 /// Latency source for yellow fusion decisions (Listing 1, step 2.3).
 class LatencyOracle {
 public:

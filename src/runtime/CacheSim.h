@@ -17,7 +17,7 @@
 #ifndef DNNFUSION_RUNTIME_CACHESIM_H
 #define DNNFUSION_RUNTIME_CACHESIM_H
 
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 
 #include <cstdint>
 #include <string>

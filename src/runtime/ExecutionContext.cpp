@@ -1,0 +1,156 @@
+//===- runtime/ExecutionContext.cpp - Model execution ----------------------------===//
+
+#include "runtime/ExecutionContext.h"
+
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <cstring>
+
+using namespace dnnfusion;
+
+ExecutionContext::ExecutionContext(const CompiledModel &Model,
+                                   const ExecutionOptions &Options)
+    : M(Model), Opts(Options) {
+  Arena.resize(static_cast<size_t>(elementsForBytes(M.Memory.ArenaBytes)));
+  // Even a sequential run needs a lane per pool thread: it may itself be
+  // executing on any worker (a batched request), and wavefront runs use
+  // every lane.
+  ScratchLanes.resize(pool().numLanes());
+  size_t ScratchElems =
+      static_cast<size_t>(elementsForBytes(M.Memory.ScratchBytes));
+  for (std::vector<float> &Lane : ScratchLanes)
+    Lane.resize(ScratchElems);
+}
+
+ThreadPool &ExecutionContext::pool() const {
+  return Opts.Pool ? *Opts.Pool : ThreadPool::global();
+}
+
+bool ExecutionContext::usesWavefront() const {
+  return Opts.Mode == ExecutionOptions::Schedule::Wavefront &&
+         M.Memory.WavefrontSafe;
+}
+
+const float *ExecutionContext::valuePtr(NodeId Id,
+                                        const std::vector<Tensor> &Inputs) const {
+  const Node &N = M.G.node(Id);
+  if (N.Kind == OpKind::Constant)
+    return N.ConstValue.data();
+  if (N.Kind == OpKind::Input) {
+    for (size_t I = 0; I < M.InputIds.size(); ++I)
+      if (M.InputIds[I] == Id)
+        return Inputs[I].data();
+    reportFatalErrorf("input node %d not bound", Id);
+  }
+  int64_t Offset = M.Memory.ArenaOffsetOfNode[static_cast<size_t>(Id)];
+  DNNF_CHECK(Offset >= 0, "node %d has no arena buffer", Id);
+  return Arena.data() + elementIndexForByteOffset(Offset);
+}
+
+void ExecutionContext::runBlock(size_t BI, unsigned Lane,
+                                const std::vector<Tensor> &Inputs,
+                                std::vector<double> *PerBlockMs) {
+  const CompiledBlock &CB = M.Blocks[BI];
+  BlockIo Io;
+  Io.Externals.reserve(CB.ExternalInputs.size());
+  for (NodeId In : CB.ExternalInputs)
+    Io.Externals.push_back(valuePtr(In, Inputs));
+  Io.LocalPtrs.reserve(CB.Locals.size());
+  std::vector<float> &Scratch = ScratchLanes[Lane];
+  int64_t ScratchCursor = 0;
+  for (const CompiledBlock::LocalBuffer &L : CB.Locals) {
+    if (L.IsBlockOutput) {
+      int64_t Offset = M.Memory.ArenaOffsetOfNode[static_cast<size_t>(L.Node)];
+      DNNF_CHECK(Offset >= 0, "block output %d has no arena slot", L.Node);
+      Io.LocalPtrs.push_back(Arena.data() + elementIndexForByteOffset(Offset));
+    } else {
+      Io.LocalPtrs.push_back(Scratch.data() +
+                             elementIndexForByteOffset(ScratchCursor));
+      ScratchCursor += L.Sh.numElements() * static_cast<int64_t>(sizeof(float));
+    }
+  }
+  DNNF_CHECK(ScratchCursor <= M.Memory.ScratchBytes,
+             "scratch overflow in block %zu", BI);
+
+  if (PerBlockMs) {
+    WallTimer BlockTimer;
+    executeBlock(CB, Io, M.Codegen);
+    (*PerBlockMs)[BI] = BlockTimer.millis();
+  } else {
+    executeBlock(CB, Io, M.Codegen);
+  }
+}
+
+std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
+                                          ExecutionStats *Stats,
+                                          bool PerBlockTiming) {
+  DNNF_CHECK(Inputs.size() == M.InputIds.size(),
+             "expected %zu inputs, got %zu", M.InputIds.size(), Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    DNNF_CHECK(Inputs[I].shape() == M.G.node(M.InputIds[I]).OutShape,
+               "input %zu shape %s does not match model shape %s", I,
+               Inputs[I].shape().toString().c_str(),
+               M.G.node(M.InputIds[I]).OutShape.toString().c_str());
+
+  WallTimer Total;
+  std::vector<double> PerBlockMs;
+  std::vector<double> *PerBlock = nullptr;
+  if (PerBlockTiming) {
+    PerBlockMs.assign(M.Blocks.size(), 0.0);
+    PerBlock = &PerBlockMs;
+  }
+
+  if (usesWavefront()) {
+    ThreadPool &P = pool();
+    for (const std::vector<int> &Level : M.Schedule.Levels) {
+      const int *BlockIdx = Level.data();
+      P.forEach(static_cast<int64_t>(Level.size()),
+                [&](int64_t I, unsigned Lane) {
+                  runBlock(static_cast<size_t>(BlockIdx[I]), Lane, Inputs,
+                           PerBlock);
+                });
+    }
+  } else {
+    // Sequential walk on the calling thread. The lane still comes from
+    // the pool so a run() inside a pool worker (e.g. a batched request)
+    // keeps its scratch distinct from other workers'. A wavefront-safe
+    // memory plan frees buffers at level granularity, so execution must
+    // follow level order (plan order is topological but not necessarily
+    // level-monotone); only a sequential-only plan matches plan order.
+    unsigned Lane = pool().currentLane();
+    if (M.Memory.WavefrontSafe) {
+      for (const std::vector<int> &Level : M.Schedule.Levels)
+        for (int BI : Level)
+          runBlock(static_cast<size_t>(BI), Lane, Inputs, PerBlock);
+    } else {
+      for (size_t BI = 0; BI < M.Blocks.size(); ++BI)
+        runBlock(BI, Lane, Inputs, PerBlock);
+    }
+  }
+
+  if (Stats) {
+    // Deterministic reduction in block-index order, independent of the
+    // dispatch interleaving above.
+    *Stats = ExecutionStats();
+    Stats->PeakArenaBytes = M.Memory.ArenaBytes;
+    for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
+      ++Stats->KernelLaunches;
+      Stats->Flops += M.BlockFlops[BI];
+      Stats->MainBytesRead += M.BlockBytesRead[BI];
+      Stats->MainBytesWritten += M.BlockBytesWritten[BI];
+      Stats->ScratchBytes += M.BlockScratchBytes[BI];
+    }
+    if (PerBlockTiming)
+      Stats->PerBlockMs = std::move(PerBlockMs);
+    Stats->WallMs = Total.millis();
+  }
+
+  std::vector<Tensor> Outputs;
+  for (NodeId Out : M.G.outputs()) {
+    Tensor T(M.G.node(Out).OutShape);
+    std::memcpy(T.data(), valuePtr(Out, Inputs), T.byteSize());
+    Outputs.push_back(std::move(T));
+  }
+  return Outputs;
+}

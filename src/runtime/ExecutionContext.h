@@ -1,0 +1,108 @@
+//===- runtime/ExecutionContext.h - Model execution -----------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutable half of the split execution layer. A CompiledModel is an
+/// immutable program; an ExecutionContext holds everything one in-flight
+/// run mutates — the tensor arena, per-lane scratch buffers, and the
+/// instrumentation counters every experiment consumes (kernel launches,
+/// FLOPs, main-memory traffic, peak footprint, wall time). One model can
+/// therefore serve N contexts concurrently (see InferenceSession).
+///
+/// run() dispatches the model's fusion blocks either strictly sequentially
+/// or wavefront-parallel: the compile-time BlockSchedule partitions the
+/// blocks into dependency levels, and every block within a level is pushed
+/// onto the thread pool as one task. Stats accumulate per block and reduce
+/// in block-index order afterwards, so counters are identical across pool
+/// sizes and schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_RUNTIME_EXECUTIONCONTEXT_H
+#define DNNFUSION_RUNTIME_EXECUTIONCONTEXT_H
+
+#include "runtime/ModelCompiler.h"
+#include "support/ThreadPool.h"
+#include "tensor/Tensor.h"
+
+#include <vector>
+
+namespace dnnfusion {
+
+/// Counters from one model execution.
+struct ExecutionStats {
+  int64_t KernelLaunches = 0;
+  int64_t Flops = 0;
+  /// Main-arena traffic: block external reads / output writes.
+  int64_t MainBytesRead = 0;
+  int64_t MainBytesWritten = 0;
+  /// Block-local scratch traffic (stays cache-resident on hardware).
+  int64_t ScratchBytes = 0;
+  int64_t PeakArenaBytes = 0;
+  double WallMs = 0.0;
+  /// Wall time per block, indexed by block (filled when PerBlockTiming is
+  /// requested). Under wavefront dispatch these overlap in real time.
+  std::vector<double> PerBlockMs;
+};
+
+/// How an ExecutionContext walks the fusion blocks.
+struct ExecutionOptions {
+  enum class Schedule {
+    /// Blocks run one after another on the calling thread, in plan order.
+    Sequential,
+    /// Blocks run level-by-level; blocks within a level dispatch across
+    /// the thread pool. Bit-identical to Sequential (deterministic
+    /// per-element kernel slicing; disjoint arena ranges per level).
+    /// Requires a wavefront-safe memory plan — the context falls back to
+    /// Sequential when the model was compiled without one.
+    Wavefront,
+  };
+  Schedule Mode = Schedule::Wavefront;
+  /// Pool used for wavefront dispatch and per-lane scratch sizing.
+  /// nullptr = ThreadPool::global().
+  ThreadPool *Pool = nullptr;
+};
+
+/// All mutable state for executing one CompiledModel. Reusable across runs
+/// (buffers persist), reentrant with respect to the thread pool (run() may
+/// itself be called from a pool worker), but NOT safe for two simultaneous
+/// run() calls on the same context — use one context per in-flight request
+/// (InferenceSession pools them).
+class ExecutionContext {
+public:
+  explicit ExecutionContext(const CompiledModel &Model,
+                            const ExecutionOptions &Options = {});
+
+  /// Runs the model on \p Inputs (one tensor per graph input, in
+  /// InputIds order). Returns the graph outputs in graph-output order.
+  std::vector<Tensor> run(const std::vector<Tensor> &Inputs,
+                          ExecutionStats *Stats = nullptr,
+                          bool PerBlockTiming = false);
+
+  const CompiledModel &model() const { return M; }
+  const ExecutionOptions &options() const { return Opts; }
+  /// True when run() dispatches wavefronts (mode and memory plan agree).
+  bool usesWavefront() const;
+
+private:
+  ThreadPool &pool() const;
+  /// Executes block \p BI with lane-local scratch, recording its wall time
+  /// into \p PerBlockMs when non-null.
+  void runBlock(size_t BI, unsigned Lane, const std::vector<Tensor> &Inputs,
+                std::vector<double> *PerBlockMs);
+  const float *valuePtr(NodeId Id, const std::vector<Tensor> &Inputs) const;
+
+  const CompiledModel &M;
+  ExecutionOptions Opts;
+  std::vector<float> Arena;
+  /// One scratch buffer per pool lane (workers + master), so concurrent
+  /// blocks never share transient staging space.
+  std::vector<std::vector<float>> ScratchLanes;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_RUNTIME_EXECUTIONCONTEXT_H

@@ -1,0 +1,77 @@
+//===- runtime/InferenceSession.cpp - Multi-client serving -----------------------===//
+
+#include "runtime/InferenceSession.h"
+
+using namespace dnnfusion;
+
+InferenceSession::InferenceSession(CompiledModel Model,
+                                   const SessionOptions &Options)
+    : M(std::move(Model)), Opts(Options) {}
+
+unsigned InferenceSession::contextsCreated() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Created;
+}
+
+std::unique_ptr<ExecutionContext> InferenceSession::acquire() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    if (!FreeContexts.empty()) {
+      std::unique_ptr<ExecutionContext> Ctx = std::move(FreeContexts.back());
+      FreeContexts.pop_back();
+      return Ctx;
+    }
+    if (Opts.MaxContexts == 0 || Created < Opts.MaxContexts) {
+      ++Created;
+      Lock.unlock(); // Context construction (buffer allocation) off-lock.
+      try {
+        return std::make_unique<ExecutionContext>(M, Opts.Exec);
+      } catch (...) {
+        // Give the capacity slot back (e.g. bad_alloc sizing the arena),
+        // or a capped session would livelock waiting for a context that
+        // will never exist.
+        {
+          std::lock_guard<std::mutex> Relock(Mutex);
+          --Created;
+        }
+        ContextReleased.notify_one();
+        throw;
+      }
+    }
+    // At the cap: wait for a lease to return. Holders always finish —
+    // their runs execute inline or on the pool without needing this
+    // thread — so this cannot deadlock.
+    ContextReleased.wait(Lock);
+  }
+}
+
+void InferenceSession::release(std::unique_ptr<ExecutionContext> Ctx) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    FreeContexts.push_back(std::move(Ctx));
+  }
+  ContextReleased.notify_one();
+}
+
+std::vector<Tensor> InferenceSession::run(const std::vector<Tensor> &Inputs,
+                                          ExecutionStats *Stats) {
+  std::unique_ptr<ExecutionContext> Ctx = acquire();
+  // Return the lease even if run() throws; losing it would shrink (or,
+  // capped, eventually livelock) the session.
+  struct Lease {
+    InferenceSession &Session;
+    std::unique_ptr<ExecutionContext> &Ctx;
+    ~Lease() { Session.release(std::move(Ctx)); }
+  } Guard{*this, Ctx};
+  return Ctx->run(Inputs, Stats);
+}
+
+std::vector<std::vector<Tensor>>
+InferenceSession::runBatch(const std::vector<std::vector<Tensor>> &Batch) {
+  std::vector<std::vector<Tensor>> Results(Batch.size());
+  ThreadPool &P = Opts.Exec.Pool ? *Opts.Exec.Pool : ThreadPool::global();
+  P.forEach(static_cast<int64_t>(Batch.size()), [&](int64_t I, unsigned) {
+    Results[static_cast<size_t>(I)] = run(Batch[static_cast<size_t>(I)]);
+  });
+  return Results;
+}

@@ -1,0 +1,75 @@
+//===- runtime/InferenceSession.h - Multi-client serving ------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer: one compiled model, many concurrent clients. An
+/// InferenceSession owns a CompiledModel plus a pool of ExecutionContexts;
+/// every run() leases a free context (growing the pool on demand, up to an
+/// optional cap) so any number of threads can call run() on the same
+/// session simultaneously — the immutable program is shared, all mutable
+/// state is per-lease. runBatch() fans a whole batch of independent
+/// requests out across the thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_RUNTIME_INFERENCESESSION_H
+#define DNNFUSION_RUNTIME_INFERENCESESSION_H
+
+#include "runtime/ExecutionContext.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace dnnfusion {
+
+/// Serving configuration.
+struct SessionOptions {
+  /// Schedule + pool every leased context executes with.
+  ExecutionOptions Exec;
+  /// Hard cap on live ExecutionContexts (each holds an arena + scratch
+  /// lanes). 0 = grow with demand. When the cap is reached, run() blocks
+  /// until a context is released.
+  unsigned MaxContexts = 0;
+};
+
+/// Thread-safe serving wrapper around one compiled model.
+class InferenceSession {
+public:
+  explicit InferenceSession(CompiledModel Model,
+                            const SessionOptions &Options = {});
+
+  const CompiledModel &model() const { return M; }
+
+  /// Runs one request. Safe to call from any number of threads at once;
+  /// each call executes on its own leased context.
+  std::vector<Tensor> run(const std::vector<Tensor> &Inputs,
+                          ExecutionStats *Stats = nullptr);
+
+  /// Runs every request of \p Batch, dispatching them across the thread
+  /// pool, and returns the outputs in batch order.
+  std::vector<std::vector<Tensor>>
+  runBatch(const std::vector<std::vector<Tensor>> &Batch);
+
+  /// Contexts created so far (high-water mark of concurrency served).
+  unsigned contextsCreated() const;
+
+private:
+  std::unique_ptr<ExecutionContext> acquire();
+  void release(std::unique_ptr<ExecutionContext> Ctx);
+
+  CompiledModel M;
+  SessionOptions Opts;
+
+  mutable std::mutex Mutex;
+  std::condition_variable ContextReleased;
+  std::vector<std::unique_ptr<ExecutionContext>> FreeContexts;
+  unsigned Created = 0;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_RUNTIME_INFERENCESESSION_H

@@ -10,8 +10,10 @@
 using namespace dnnfusion;
 
 MemoryPlan dnnfusion::planMemory(const Graph &G, const FusionPlan &Plan,
-                                 const std::vector<CompiledBlock> &Blocks) {
+                                 const std::vector<CompiledBlock> &Blocks,
+                                 const BlockSchedule *Schedule) {
   MemoryPlan M;
+  M.WavefrontSafe = Schedule != nullptr;
   size_t N = static_cast<size_t>(G.numNodes());
   M.ArenaOffsetOfNode.assign(N, -1);
   M.InputOffsetOfNode.assign(N, -1);
@@ -31,26 +33,37 @@ MemoryPlan dnnfusion::planMemory(const Graph &G, const FusionPlan &Plan,
     }
   }
 
-  // Liveness of block outputs: last block that reads them (graph outputs
+  // Allocation time per block: the block's position in sequential mode, or
+  // its wavefront level in concurrency-aware mode (which widens every
+  // lifetime to whole levels, so same-level blocks never alias).
+  size_t NumBlocks = Plan.Blocks.size();
+  std::vector<int> TimeOfBlock(NumBlocks, 0);
+  int EndTime = static_cast<int>(NumBlocks);
+  for (size_t BI = 0; BI < NumBlocks; ++BI)
+    TimeOfBlock[BI] =
+        Schedule ? Schedule->LevelOfBlock[BI] : static_cast<int>(BI);
+  if (Schedule)
+    EndTime = static_cast<int>(Schedule->numLevels());
+
+  // Liveness of block outputs: last time a block reads them (graph outputs
   // live forever).
   std::vector<int> LastUse(N, -1);
-  for (size_t BI = 0; BI < Plan.Blocks.size(); ++BI)
+  for (size_t BI = 0; BI < NumBlocks; ++BI)
     for (NodeId Id : Plan.Blocks[BI].Members)
       for (NodeId In : G.node(Id).Inputs)
         LastUse[static_cast<size_t>(In)] =
-            std::max(LastUse[static_cast<size_t>(In)], static_cast<int>(BI));
+            std::max(LastUse[static_cast<size_t>(In)], TimeOfBlock[BI]);
   for (NodeId Out : G.outputs())
-    LastUse[static_cast<size_t>(Out)] =
-        static_cast<int>(Plan.Blocks.size());
+    LastUse[static_cast<size_t>(Out)] = EndTime;
 
   struct Allocation {
     int64_t Offset;
     int64_t Bytes;
-    int FreeAfterBlock;
+    int FreeAfterTime;
   };
   std::vector<Allocation> Live;
 
-  auto allocate = [&](int64_t Bytes, int FreeAfterBlock) {
+  auto allocate = [&](int64_t Bytes, int FreeAfterTime) {
     // First-fit into gaps between live allocations (kept offset-sorted).
     int64_t Offset = 0;
     size_t InsertAt = 0;
@@ -66,22 +79,34 @@ MemoryPlan dnnfusion::planMemory(const Graph &G, const FusionPlan &Plan,
       InsertAt = I + 1;
     }
     Live.insert(Live.begin() + static_cast<long>(InsertAt),
-                Allocation{Offset, Bytes, FreeAfterBlock});
+                Allocation{Offset, Bytes, FreeAfterTime});
     M.ArenaBytes = std::max(M.ArenaBytes, Offset + Bytes);
     return Offset;
   };
 
-  for (size_t BI = 0; BI < Plan.Blocks.size(); ++BI) {
-    // Release buffers whose last consumer has executed.
-    Live.erase(std::remove_if(Live.begin(), Live.end(),
-                              [&](const Allocation &A) {
-                                return A.FreeAfterBlock <
-                                       static_cast<int>(BI);
-                              }),
-               Live.end());
+  // Allocate in time order (plan order sequentially; level order under a
+  // schedule, where plan order need not be level-monotone).
+  std::vector<size_t> Order(NumBlocks);
+  for (size_t BI = 0; BI < NumBlocks; ++BI)
+    Order[BI] = BI;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return TimeOfBlock[A] < TimeOfBlock[B];
+  });
+
+  int CurrentTime = -1;
+  for (size_t BI : Order) {
+    if (TimeOfBlock[BI] > CurrentTime) {
+      CurrentTime = TimeOfBlock[BI];
+      // Release buffers whose last consumer time has passed.
+      Live.erase(std::remove_if(Live.begin(), Live.end(),
+                                [&](const Allocation &A) {
+                                  return A.FreeAfterTime < CurrentTime;
+                                }),
+                 Live.end());
+    }
     for (NodeId Out : Plan.Blocks[BI].Outputs) {
       int Free = LastUse[static_cast<size_t>(Out)];
-      DNNF_CHECK(Free >= static_cast<int>(BI),
+      DNNF_CHECK(Free >= TimeOfBlock[BI],
                  "block output %d has no consumer and is not a graph output",
                  Out);
       M.ArenaOffsetOfNode[static_cast<size_t>(Out)] =

@@ -24,6 +24,22 @@
 
 namespace dnnfusion {
 
+/// All runtime buffers hold float elements. These two helpers replace the
+/// raw `/ 4` byte-to-element arithmetic previously scattered through the
+/// executor; they are shared by the memory planner and the execution
+/// context so sizing and offset math can never disagree.
+///
+/// Float elements needed to back \p Bytes (rounds up).
+inline constexpr int64_t elementsForBytes(int64_t Bytes) {
+  return (Bytes + static_cast<int64_t>(sizeof(float)) - 1) /
+         static_cast<int64_t>(sizeof(float));
+}
+/// Element index of the float at byte offset \p Bytes. Offsets handed out
+/// by the planner are always element-aligned.
+inline constexpr int64_t elementIndexForByteOffset(int64_t Bytes) {
+  return Bytes / static_cast<int64_t>(sizeof(float));
+}
+
 /// Virtual address-space bases used by the instrumentation / cache
 /// simulator (the executor itself uses real host pointers).
 inline constexpr uint64_t InputRegionBase = 0x0000000000ull;
@@ -42,14 +58,32 @@ struct MemoryPlan {
   std::vector<int64_t> WeightOffsetOfNode;
 
   int64_t ArenaBytes = 0;   ///< Peak arena footprint.
-  int64_t ScratchBytes = 0; ///< Largest per-block scratch requirement.
+  int64_t ScratchBytes = 0; ///< Largest per-block (= per-lane) scratch.
   int64_t WeightBytes = 0;
   int64_t InputBytes = 0;
+
+  /// True when liveness was widened to wavefront granularity: buffers of
+  /// blocks in the same schedule level never alias, so the levels of
+  /// \c CompiledModel::Schedule may execute concurrently over one arena.
+  bool WavefrontSafe = false;
 };
 
 /// Plans buffers for \p Plan / \p Blocks over \p G.
+///
+/// Without \p Schedule, liveness is tracked at block granularity: a buffer
+/// is reusable as soon as the last block reading it has executed, assuming
+/// strictly sequential block execution — the tightest (Figure 8) footprint.
+///
+/// With \p Schedule, the planner runs in concurrency-aware mode: a
+/// buffer's lifetime is widened to whole wavefront levels (born at the
+/// start of its producer's level, freed after the last consumer's level),
+/// so blocks dispatched concurrently within one level can never read or
+/// write overlapping arena ranges. Scratch stays the largest per-block
+/// requirement; concurrent execution gives each worker lane its own
+/// scratch buffer of that size rather than widening it here.
 MemoryPlan planMemory(const Graph &G, const FusionPlan &Plan,
-                      const std::vector<CompiledBlock> &Blocks);
+                      const std::vector<CompiledBlock> &Blocks,
+                      const BlockSchedule *Schedule = nullptr);
 
 } // namespace dnnfusion
 

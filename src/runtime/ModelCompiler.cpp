@@ -91,15 +91,18 @@ int dnnfusion::mergeMovementBlocks(const Graph &G, FusionPlan &Plan) {
 
 namespace {
 
-/// Shared tail of compilation: codegen, memory planning, stat tables.
-void finishCompilation(CompiledModel &M, Graph &G) {
+/// Shared tail of compilation: schedule, codegen, memory planning, stat
+/// tables.
+void finishCompilation(CompiledModel &M, Graph &G, bool WavefrontSafe) {
   WallTimer Timer;
   M.Blocks.reserve(M.Plan.Blocks.size());
   for (const FusionBlock &B : M.Plan.Blocks)
     M.Blocks.push_back(compileBlock(G, B, M.Codegen));
   M.CodegenMs = Timer.millis();
 
-  M.Memory = planMemory(G, M.Plan, M.Blocks);
+  M.Schedule = computeBlockSchedule(G, M.Plan);
+  M.Memory = planMemory(G, M.Plan, M.Blocks,
+                        WavefrontSafe ? &M.Schedule : nullptr);
 
   for (size_t BI = 0; BI < M.Plan.Blocks.size(); ++BI) {
     const FusionBlock &B = M.Plan.Blocks[BI];
@@ -133,7 +136,11 @@ CompiledModel dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
   CompiledModel M;
   M.Plan = std::move(Plan);
   M.Codegen = Codegen;
-  finishCompilation(M, G);
+  // External plans bypass the planner's own verification; the schedule and
+  // the concurrency-safe memory plan both assume a valid topological block
+  // order, so check it here rather than corrupting memory at run time.
+  M.Plan.verify(G);
+  finishCompilation(M, G, /*WavefrontSafe=*/true);
   return M;
 }
 
@@ -164,6 +171,6 @@ CompiledModel dnnfusion::compileModel(Graph G, const CompileOptions &Options,
     // shared subtrees are recomputed rather than cached.
     M.Codegen.FoldDataMovement = false;
   }
-  finishCompilation(M, G);
+  finishCompilation(M, G, Options.WavefrontSafeMemory);
   return M;
 }

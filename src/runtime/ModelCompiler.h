@@ -32,6 +32,11 @@ struct CompileOptions {
   /// Intra-block data-movement elimination + inter-block movement sinking
   /// (paper §4.4.2; "Other" in Figure 7).
   bool EnableOtherOpts = true;
+  /// Plan arena liveness at wavefront granularity so blocks in the same
+  /// schedule level never alias and may execute concurrently (see
+  /// planMemory). Off = tightest sequential-only footprint; the execution
+  /// context then refuses wavefront dispatch for the model.
+  bool WavefrontSafeMemory = true;
 
   RewriteOptions Rewrite;
   PlannerOptions Planner;
@@ -43,6 +48,9 @@ struct CompiledModel {
   /// The (possibly rewritten) graph; owns all weights.
   Graph G;
   FusionPlan Plan;
+  /// Inter-block dependency DAG + wavefront partition of Plan (always
+  /// computed; the sequential executor simply ignores it).
+  BlockSchedule Schedule;
   std::vector<CompiledBlock> Blocks;
   MemoryPlan Memory;
   CodegenOptions Codegen;
@@ -75,7 +83,8 @@ CompiledModel compileModel(Graph G, const CompileOptions &Options = {},
 
 /// Compiles \p G under an externally produced fusion plan (the framework
 /// baselines of Tables 5/6: their pattern fusers decide the plan, this
-/// runtime executes it). No rewriting is applied.
+/// runtime executes it). No rewriting is applied. Memory is planned
+/// wavefront-safe, like compileModel's default.
 CompiledModel compileModelWithPlan(Graph G, FusionPlan Plan,
                                    const CodegenOptions &Codegen = {});
 

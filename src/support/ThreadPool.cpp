@@ -6,6 +6,16 @@
 
 using namespace dnnfusion;
 
+namespace {
+
+/// Pool the calling thread works for (null on non-worker threads) and its
+/// lane within that pool. The reentrancy checks compare against `this`, so
+/// nesting across distinct pools still dispatches normally.
+thread_local const ThreadPool *CurrentWorkerPool = nullptr;
+thread_local unsigned CurrentWorkerLane = 0;
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads == 0) {
     unsigned Hw = std::thread::hardware_concurrency();
@@ -26,25 +36,60 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::workerLoop(unsigned) {
+bool ThreadPool::onWorkerThread() const { return CurrentWorkerPool == this; }
+
+unsigned ThreadPool::currentLane() const {
+  return CurrentWorkerPool == this ? CurrentWorkerLane : 0;
+}
+
+void ThreadPool::runTask(const Task &T, unsigned Lane) {
+  if (T.Group->Range)
+    (*T.Group->Range)(T.Begin, T.End);
+  else
+    (*T.Group->Single)(T.Begin, Lane);
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentWorkerPool = this;
+  CurrentWorkerLane = Index + 1; // Lane 0 is reserved for master threads.
   while (true) {
     Task T;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WakeWorkers.wait(Lock,
                        [this] { return ShuttingDown || !PendingTasks.empty(); });
-      if (ShuttingDown && PendingTasks.empty())
-        return;
+      if (PendingTasks.empty())
+        return; // ShuttingDown and drained.
       T = PendingTasks.back();
       PendingTasks.pop_back();
     }
-    (*T.Body)(T.Begin, T.End);
+    runTask(T, CurrentWorkerLane);
     {
       std::lock_guard<std::mutex> Lock(Mutex);
-      --Outstanding;
-      if (Outstanding == 0)
-        WakeMaster.notify_all();
+      if (--T.Group->Remaining == 0)
+        T.Group->Done.notify_all();
     }
+  }
+}
+
+void ThreadPool::helpUntilDone(std::unique_lock<std::mutex> &Lock,
+                               TaskGroup &Group, unsigned Lane) {
+  // Execute queued tasks of this group on the calling thread instead of
+  // idling; tasks of unrelated concurrent groups are left to their owners.
+  while (Group.Remaining > 0) {
+    auto It = std::find_if(PendingTasks.begin(), PendingTasks.end(),
+                           [&](const Task &T) { return T.Group == &Group; });
+    if (It == PendingTasks.end()) {
+      Group.Done.wait(Lock, [&] { return Group.Remaining == 0; });
+      return;
+    }
+    Task T = *It;
+    PendingTasks.erase(It);
+    Lock.unlock();
+    runTask(T, Lane);
+    Lock.lock();
+    if (--Group.Remaining == 0)
+      return;
   }
 }
 
@@ -52,30 +97,51 @@ void ThreadPool::parallelFor(
     int64_t Count, const std::function<void(int64_t, int64_t)> &Body) {
   if (Count <= 0)
     return;
-  // Small trip counts are not worth the synchronization overhead.
+  // Small trip counts are not worth the synchronization overhead; calls
+  // from one of our own workers must not block on the queue (deadlock).
   const int64_t MinPerSlice = 4096;
   unsigned Slices = numThreads();
-  if (Slices <= 1 || Count < 2 * MinPerSlice) {
+  if (Slices <= 1 || Count < 2 * MinPerSlice || onWorkerThread()) {
     Body(0, Count);
     return;
   }
   Slices = static_cast<unsigned>(
       std::min<int64_t>(Slices, (Count + MinPerSlice - 1) / MinPerSlice));
   int64_t Chunk = (Count + Slices - 1) / Slices;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    for (unsigned I = 0; I < Slices; ++I) {
-      int64_t Begin = static_cast<int64_t>(I) * Chunk;
-      int64_t End = std::min<int64_t>(Begin + Chunk, Count);
-      if (Begin >= End)
-        break;
-      PendingTasks.push_back(Task{&Body, Begin, End});
-      ++Outstanding;
-    }
+  TaskGroup Group;
+  Group.Range = &Body;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (unsigned I = 0; I < Slices; ++I) {
+    int64_t Begin = static_cast<int64_t>(I) * Chunk;
+    int64_t End = std::min<int64_t>(Begin + Chunk, Count);
+    if (Begin >= End)
+      break;
+    PendingTasks.push_back(Task{&Group, Begin, End});
+    ++Group.Remaining;
   }
   WakeWorkers.notify_all();
+  helpUntilDone(Lock, Group, currentLane());
+}
+
+void ThreadPool::forEach(int64_t Count,
+                         const std::function<void(int64_t, unsigned)> &Body) {
+  if (Count <= 0)
+    return;
+  if (Count == 1 || numThreads() <= 1 || onWorkerThread()) {
+    unsigned Lane = currentLane();
+    for (int64_t I = 0; I < Count; ++I)
+      Body(I, Lane);
+    return;
+  }
+  TaskGroup Group;
+  Group.Single = &Body;
   std::unique_lock<std::mutex> Lock(Mutex);
-  WakeMaster.wait(Lock, [this] { return Outstanding == 0; });
+  for (int64_t I = 0; I < Count; ++I) {
+    PendingTasks.push_back(Task{&Group, I, I + 1});
+    ++Group.Remaining;
+  }
+  WakeWorkers.notify_all();
+  helpUntilDone(Lock, Group, currentLane());
 }
 
 ThreadPool &ThreadPool::global() {

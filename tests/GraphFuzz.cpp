@@ -29,12 +29,15 @@
 #include "GraphFuzz.h"
 
 #include "ops/OpSchema.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 namespace dnnfusion {
 namespace testutil {
@@ -943,6 +946,14 @@ const std::vector<DiffConfig> &defaultConfigMatrix() {
       C.Options.EnableOtherOpts = false;
       M.push_back(C);
     }
+    {
+      // Thread-count dimension: same full pipeline, wavefront pinned to a
+      // single-thread pool. Must be bit-identical to "full" (N threads).
+      DiffConfig C;
+      C.Name = "full-t1";
+      C.Threads = 1;
+      M.push_back(C);
+    }
     return M;
   }();
   return Matrix;
@@ -964,11 +975,27 @@ std::vector<Tensor> specInputs(const FuzzSpec &Spec) {
   return Inputs;
 }
 
+/// Dedicated fixed-size pools for the thread-count dimension, created once
+/// (fuzz sweeps run thousands of pipelines).
+ThreadPool &poolWithThreads(unsigned Threads) {
+  static std::map<unsigned, std::unique_ptr<ThreadPool>> Pools;
+  static std::mutex PoolsMutex;
+  std::lock_guard<std::mutex> Lock(PoolsMutex);
+  std::unique_ptr<ThreadPool> &P = Pools[Threads];
+  if (!P)
+    P = std::make_unique<ThreadPool>(Threads);
+  return *P;
+}
+
 std::vector<Tensor> runPipeline(const FuzzSpec &Spec,
                                 const CompileOptions &Options,
-                                const std::vector<Tensor> &Inputs) {
+                                const std::vector<Tensor> &Inputs,
+                                unsigned Threads = 0) {
   CompiledModel M = compileModel(buildGraph(Spec), Options);
-  Executor E(M);
+  ExecutionOptions Exec;
+  if (Threads > 0)
+    Exec.Pool = &poolWithThreads(Threads);
+  ExecutionContext E(M, Exec);
   return E.run(Inputs);
 }
 
@@ -1000,12 +1027,23 @@ runDifferential(const FuzzSpec &Spec, const std::vector<DiffConfig> &Configs,
   RefOpt.EnableOtherOpts = false;
   std::vector<Tensor> Ref = runPipeline(Spec, RefOpt, Inputs);
 
+  // Outputs of identically-compiled configs that differ only in thread
+  // count must match bit-for-bit, not just within tolerance.
+  std::map<std::string, std::vector<Tensor>> ByName;
   for (const DiffConfig &Config : Configs) {
-    std::vector<Tensor> Opt = runPipeline(Spec, Config.Options, Inputs);
+    std::vector<Tensor> Opt =
+        runPipeline(Spec, Config.Options, Inputs, Config.Threads);
     if (std::optional<std::string> Diff =
             compareOutputs(Ref, Opt, RelTol, AbsTol))
       return DiffFailure{Config.Name, *Diff};
+    ByName.emplace(Config.Name, std::move(Opt));
   }
+  auto Full = ByName.find("full");
+  auto Full1 = ByName.find("full-t1");
+  if (Full != ByName.end() && Full1 != ByName.end())
+    if (std::optional<std::string> Diff =
+            compareOutputs(Full->second, Full1->second, 0.0f, 0.0f))
+      return DiffFailure{"full vs full-t1 (thread determinism)", *Diff};
   return std::nullopt;
 }
 

@@ -113,11 +113,18 @@ std::string toBuilderCode(const FuzzSpec &Spec);
 struct DiffConfig {
   std::string Name;
   CompileOptions Options;
+  /// Thread-count dimension for wavefront execution: 0 = the shared
+  /// global pool (N threads), otherwise a dedicated pool of exactly this
+  /// many threads. Deterministic kernel slicing + level scheduling must
+  /// make outputs bit-identical across pool sizes; runDifferential
+  /// enforces that between the "full" and "full-t1" entries.
+  unsigned Threads = 0;
 };
 
 /// The default configuration matrix: full pipeline, fusion without
-/// rewriting, rewriting without fusion, and fusion without the §4.4.2
-/// "other" optimizations.
+/// rewriting, rewriting without fusion, fusion without the §4.4.2 "other"
+/// optimizations, and the full pipeline pinned to a single-thread pool
+/// (the thread-count dimension).
 const std::vector<DiffConfig> &defaultConfigMatrix();
 
 /// A reference-vs-optimized divergence.

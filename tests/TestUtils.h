@@ -15,7 +15,7 @@
 #define DNNFUSION_TESTS_TESTUTILS_H
 
 #include "GraphFuzz.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 #include "runtime/ModelCompiler.h"
 #include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
@@ -44,7 +44,8 @@ inline std::vector<Tensor> randomInputs(const Graph &G, uint64_t Seed,
   return Inputs;
 }
 
-/// Runs \p G unoptimized (no rewriting, no fusion).
+/// Runs \p G unoptimized (no rewriting, no fusion) with strictly
+/// sequential block execution — the reference result.
 inline std::vector<Tensor> runReference(const Graph &G,
                                         const std::vector<Tensor> &Inputs) {
   CompileOptions Opt;
@@ -52,16 +53,20 @@ inline std::vector<Tensor> runReference(const Graph &G,
   Opt.EnableFusion = false;
   Opt.EnableOtherOpts = false;
   CompiledModel M = compileModel(G, Opt);
-  Executor E(M);
+  ExecutionOptions Exec;
+  Exec.Mode = ExecutionOptions::Schedule::Sequential;
+  ExecutionContext E(M, Exec);
   return E.run(Inputs);
 }
 
-/// Runs \p G through the full DNNFusion pipeline with \p Options.
+/// Runs \p G through the full DNNFusion pipeline with \p Options (default
+/// wavefront dispatch, so every comparison against runReference also
+/// differentially tests the concurrent executor).
 inline std::vector<Tensor> runOptimized(const Graph &G,
                                         const std::vector<Tensor> &Inputs,
                                         const CompileOptions &Options = {}) {
   CompiledModel M = compileModel(G, Options);
-  Executor E(M);
+  ExecutionContext E(M);
   return E.run(Inputs);
 }
 

@@ -5,7 +5,7 @@
 #include "graph/GraphBuilder.h"
 #include "runtime/CacheSim.h"
 #include "runtime/DeviceModel.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 
 #include <gtest/gtest.h>
 
@@ -26,10 +26,10 @@ Graph smallCnn(uint64_t Seed) {
   return B.take();
 }
 
-TEST(Executor, StatsAreConsistentWithThePlan) {
+TEST(ExecutionContext, StatsAreConsistentWithThePlan) {
   Graph G = smallCnn(1);
   CompiledModel M = compileModel(smallCnn(1), CompileOptions());
-  Executor E(M);
+  ExecutionContext E(M);
   std::vector<Tensor> Inputs = randomInputs(M.G, 3);
   ExecutionStats Stats;
   E.run(Inputs, &Stats);
@@ -41,9 +41,9 @@ TEST(Executor, StatsAreConsistentWithThePlan) {
   EXPECT_GT(Stats.WallMs, 0.0);
 }
 
-TEST(Executor, RepeatedRunsAreDeterministic) {
+TEST(ExecutionContext, RepeatedRunsAreDeterministic) {
   CompiledModel M = compileModel(smallCnn(2), CompileOptions());
-  Executor E(M);
+  ExecutionContext E(M);
   std::vector<Tensor> Inputs = randomInputs(M.G, 5);
   std::vector<Tensor> A = E.run(Inputs);
   std::vector<Tensor> B = E.run(Inputs);
@@ -52,7 +52,7 @@ TEST(Executor, RepeatedRunsAreDeterministic) {
     EXPECT_EQ(maxAbsDiff(A[I], B[I]), 0.0f);
 }
 
-TEST(Executor, FusionReducesLaunchesTrafficAndFootprint) {
+TEST(ExecutionContext, FusionReducesLaunchesTrafficAndFootprint) {
   CompileOptions Fused, Unfused;
   Unfused.EnableGraphRewriting = false;
   Unfused.EnableFusion = false;
@@ -61,17 +61,17 @@ TEST(Executor, FusionReducesLaunchesTrafficAndFootprint) {
   CompiledModel MU = compileModel(smallCnn(3), Unfused);
   std::vector<Tensor> Inputs = randomInputs(MU.G, 7);
   ExecutionStats SF, SU;
-  Executor(MF).run(Inputs, &SF);
-  Executor(MU).run(Inputs, &SU);
+  ExecutionContext(MF).run(Inputs, &SF);
+  ExecutionContext(MU).run(Inputs, &SU);
   EXPECT_LT(SF.KernelLaunches, SU.KernelLaunches);
   EXPECT_LT(SF.MainBytesRead + SF.MainBytesWritten,
             SU.MainBytesRead + SU.MainBytesWritten);
   EXPECT_LE(SF.PeakArenaBytes, SU.PeakArenaBytes);
 }
 
-TEST(ExecutorDeath, WrongInputShapeAborts) {
+TEST(ExecutionContextDeath, WrongInputShapeAborts) {
   CompiledModel M = compileModel(smallCnn(4), CompileOptions());
-  Executor E(M);
+  ExecutionContext E(M);
   std::vector<Tensor> Bad = {Tensor::zeros(Shape({1, 3, 8, 8}))};
   EXPECT_DEATH(E.run(Bad), "does not match");
 }

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdio>
 #include <set>
+#include <thread>
 
 using namespace dnnfusion;
 
@@ -267,6 +268,138 @@ TEST(ThreadPool, GlobalPoolIsASingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().numThreads(), 1u);
   EXPECT_LE(ThreadPool::global().numThreads(), 8u);
+}
+
+TEST(ThreadPool, ForEachVisitsEveryIndexOnceWithValidLanes) {
+  ThreadPool Pool(4);
+  const int64_t Count = 64;
+  std::vector<std::atomic<int>> Visits(Count);
+  for (auto &V : Visits)
+    V = 0;
+  std::atomic<bool> LaneOutOfRange{false};
+  Pool.forEach(Count, [&](int64_t I, unsigned Lane) {
+    ++Visits[static_cast<size_t>(I)];
+    if (Lane >= Pool.numLanes())
+      LaneOutOfRange = true;
+  });
+  for (int64_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Visits[static_cast<size_t>(I)].load(), 1) << "index " << I;
+  EXPECT_FALSE(LaneOutOfRange.load());
+}
+
+TEST(ThreadPool, ParallelForInsideWorkerRunsInlineWithoutDeadlock) {
+  // The wavefront dispatcher runs fusion blocks as forEach tasks; the
+  // fused kernels inside then call parallelFor on the same pool. That
+  // nested call must execute inline on the worker — enqueueing and
+  // blocking would deadlock a fully busy pool. Regression gate for the
+  // reentrancy guarantee.
+  ThreadPool Pool(2);
+  const int64_t Outer = 2, Inner = 1 << 15; // Inner > 2 * MinPerSlice.
+  std::vector<std::atomic<int64_t>> Sums(Outer);
+  for (auto &S : Sums)
+    S = 0;
+  std::mutex RendezvousMutex;
+  std::condition_variable RendezvousCv;
+  int Arrived = 0;
+  std::atomic<int> WorkerDispatches{0};
+  Pool.forEach(Outer, [&](int64_t I, unsigned) {
+    {
+      // Rendezvous: both tasks must be in flight at once, so at least one
+      // runs on a worker thread (the participating master can hold only
+      // one) and the inline path below is deterministically exercised.
+      std::unique_lock<std::mutex> Lock(RendezvousMutex);
+      ++Arrived;
+      RendezvousCv.notify_all();
+      RendezvousCv.wait(Lock, [&] { return Arrived == Outer; });
+    }
+    bool OnWorker = Pool.onWorkerThread();
+    std::thread::id Caller = std::this_thread::get_id();
+    Pool.parallelFor(Inner, [&](int64_t Begin, int64_t End) {
+      if (OnWorker) {
+        // Inline on the worker: same thread, one slice covering the whole
+        // range. (On the master a nested parallelFor may dispatch
+        // normally, which is deadlock-free.)
+        EXPECT_EQ(std::this_thread::get_id(), Caller);
+        EXPECT_EQ(Begin, 0);
+        EXPECT_EQ(End, Inner);
+      }
+      int64_t Local = 0;
+      for (int64_t J = Begin; J < End; ++J)
+        Local += J;
+      Sums[static_cast<size_t>(I)] += Local;
+    });
+    if (OnWorker)
+      ++WorkerDispatches;
+  });
+  EXPECT_GE(WorkerDispatches.load(), 1);
+  for (int64_t I = 0; I < Outer; ++I)
+    EXPECT_EQ(Sums[static_cast<size_t>(I)].load(), Inner * (Inner - 1) / 2);
+}
+
+TEST(ThreadPool, ForEachInsideWorkerRunsInline) {
+  ThreadPool Pool(2);
+  std::atomic<int> Total{0};
+  Pool.forEach(4, [&](int64_t, unsigned OuterLane) {
+    Pool.forEach(4, [&](int64_t, unsigned InnerLane) {
+      // Nested dispatch degrades to an inline loop on the same lane.
+      EXPECT_EQ(InnerLane, OuterLane);
+      ++Total;
+    });
+  });
+  EXPECT_EQ(Total.load(), 16);
+}
+
+TEST(ThreadPool, LaneIdentification) {
+  ThreadPool Pool(3);
+  EXPECT_FALSE(Pool.onWorkerThread());
+  EXPECT_EQ(Pool.currentLane(), 0u);
+  EXPECT_EQ(Pool.numLanes(), 4u);
+  // Worker lanes are 1..numThreads; lanes of another pool do not leak.
+  ThreadPool Other(2);
+  std::mutex M;
+  std::vector<unsigned> WorkerLanes;
+  Pool.forEach(16, [&](int64_t, unsigned Lane) {
+    if (Pool.onWorkerThread()) {
+      EXPECT_FALSE(Other.onWorkerThread());
+      EXPECT_EQ(Other.currentLane(), 0u);
+      EXPECT_GE(Lane, 1u);
+      EXPECT_LE(Lane, Pool.numThreads());
+      std::lock_guard<std::mutex> Lock(M);
+      WorkerLanes.push_back(Lane);
+    } else {
+      EXPECT_EQ(Lane, 0u);
+    }
+  });
+}
+
+TEST(ThreadPool, ConcurrentMastersEachCompleteTheirOwnGroup) {
+  // Several independent threads sharing one pool (the InferenceSession
+  // pattern): every parallelFor/forEach call must wait on exactly its own
+  // task group and observe its own full iteration space.
+  ThreadPool Pool(4);
+  const int Masters = 4;
+  std::vector<std::thread> Threads;
+  std::vector<int64_t> Results(Masters, 0);
+  for (int T = 0; T < Masters; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round < 20; ++Round) {
+        std::atomic<int64_t> Sum{0};
+        const int64_t Count = 10000 + T * 1000;
+        Pool.parallelFor(Count, [&](int64_t Begin, int64_t End) {
+          int64_t Local = 0;
+          for (int64_t I = Begin; I < End; ++I)
+            Local += I;
+          Sum += Local;
+        });
+        Results[static_cast<size_t>(T)] = Sum.load();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 0; T < Masters; ++T) {
+    int64_t Count = 10000 + T * 1000;
+    EXPECT_EQ(Results[static_cast<size_t>(T)], Count * (Count - 1) / 2);
+  }
 }
 
 //===----------------------------------------------------------------------===//

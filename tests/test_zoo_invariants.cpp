@@ -10,7 +10,7 @@
 #include "core/Ecg.h"
 #include "core/FusionAnalysis.h"
 #include "models/ModelZoo.h"
-#include "runtime/Executor.h"
+#include "runtime/ExecutionContext.h"
 
 #include <gtest/gtest.h>
 
