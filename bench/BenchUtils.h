@@ -68,7 +68,7 @@ inline CompiledModel compileConfig(const std::function<Graph()> &Build,
   Graph G = Build();
   auto WithPattern = [&](BaselineFramework F) {
     FusionPlan Plan = fixedPatternFusion(G, F);
-    return compileModelWithPlan(std::move(G), std::move(Plan));
+    return cantFail(compileModelWithPlan(std::move(G), std::move(Plan)));
   };
   switch (C) {
   case Config::MnnLike:
@@ -84,14 +84,14 @@ inline CompiledModel compileConfig(const std::function<Graph()> &Build,
     Opt.EnableGraphRewriting = false;
     Opt.EnableFusion = false;
     Opt.EnableOtherOpts = false;
-    return compileModel(std::move(G), Opt);
+    return cantFail(compileModel(std::move(G), Opt));
   }
   case Config::OurBPlus:
     return WithPattern(BaselineFramework::TvmLike);
   case Config::Dnnf:
-    return compileModel(std::move(G), CompileOptions());
+    return cantFail(compileModel(std::move(G), CompileOptions()));
   }
-  return compileModel(std::move(G), CompileOptions());
+  return cantFail(compileModel(std::move(G), CompileOptions()));
 }
 
 /// Deterministic random inputs for \p M.

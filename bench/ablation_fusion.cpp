@@ -23,7 +23,7 @@ int main() {
     TablePrinter T({"Variant", "Fused layers", "Scratch (MB)", "CPU (ms)"});
 
     auto Report = [&](const char *Label, const CompileOptions &Opt) {
-      CompiledModel M = compileModel(Build(), Opt);
+      CompiledModel M = cantFail(compileModel(Build(), Opt));
       T.addRow({Label, fmtCount(M.Plan.fusedLayerCount()),
                 fmtMb(M.Memory.ScratchBytes), fmtMs(medianLatencyMs(M))});
     };

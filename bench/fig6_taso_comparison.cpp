@@ -28,7 +28,7 @@ int main() {
     Graph G = Build();
     optimizeTasoLike(G);
     FusionPlan Plan = fixedPatternFusion(G, BaselineFramework::TfliteLike);
-    CompiledModel Taso = compileModelWithPlan(std::move(G), std::move(Plan));
+    CompiledModel Taso = cantFail(compileModelWithPlan(std::move(G), std::move(Plan)));
     double TasoMs = medianLatencyMs(Taso);
     // DNNFusion.
     CompiledModel Dnnf = compileConfig(Build, Config::Dnnf);

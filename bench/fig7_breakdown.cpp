@@ -27,7 +27,7 @@ CompiledModel compileVariant(const std::function<Graph()> &Build, bool Gr,
   Opt.EnableGraphRewriting = Gr;
   Opt.EnableFusion = Fuse;
   Opt.EnableOtherOpts = Other;
-  return compileModel(Build(), Opt);
+  return cantFail(compileModel(Build(), Opt));
 }
 
 /// Emits per-model sequential-vs-wavefront wall latency as JSON. Models
@@ -61,7 +61,7 @@ int emitJson(const char *Path) {
   for (size_t I = 0; I < sizeof(Models) / sizeof(Models[0]); ++I) {
     const char *Name = Models[I];
     CompiledModel M =
-        compileModel(buildModel(Name), CompileOptions());
+        cantFail(compileModel(buildModel(Name), CompileOptions()));
     double SeqMs = medianLatencyMs(M, 5, nullptr, Seq);
     double WaveMs = medianLatencyMs(M, 5, nullptr, Wave);
     double Speedup = WaveMs > 0.0 ? SeqMs / WaveMs : 0.0;

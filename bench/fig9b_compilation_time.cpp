@@ -70,7 +70,7 @@ int main() {
     ProfilingOracle Oracle(Db, /*Repeats=*/2);
     WallTimer CompileTimer;
     CompileOptions Opt;
-    CompiledModel M = compileModel(Build(), Opt, &Oracle);
+    CompiledModel M = cantFail(compileModel(Build(), Opt, &Oracle));
     double TotalCompileMs = CompileTimer.millis();
     double ProfilingMs = Oracle.measurementMs();
     double FusionMs = TotalCompileMs - ProfilingMs;
@@ -89,7 +89,7 @@ int main() {
     ProfilingOracle Oracle(Db, /*Repeats=*/2);
     WallTimer CompileTimer;
     CompileOptions Opt;
-    CompiledModel M = compileModel(Build(), Opt, &Oracle);
+    CompiledModel M = cantFail(compileModel(Build(), Opt, &Oracle));
     double TotalCompileMs = CompileTimer.millis();
     double ProfilingMs = Oracle.measurementMs();
     double FusionMs = TotalCompileMs - ProfilingMs;

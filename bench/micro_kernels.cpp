@@ -51,7 +51,7 @@ void BM_ElementwiseChainUnfused(benchmark::State &State) {
   Opt.EnableFusion = false;
   Opt.EnableOtherOpts = false;
   CompiledModel M =
-      compileModel(elementwiseChain(State.range(0), 8), Opt);
+      cantFail(compileModel(elementwiseChain(State.range(0), 8), Opt));
   runModel(State, M);
 }
 BENCHMARK(BM_ElementwiseChainUnfused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
@@ -60,7 +60,7 @@ void BM_ElementwiseChainFused(benchmark::State &State) {
   CompileOptions Opt;
   Opt.EnableGraphRewriting = false;
   CompiledModel M =
-      compileModel(elementwiseChain(State.range(0), 8), Opt);
+      cantFail(compileModel(elementwiseChain(State.range(0), 8), Opt));
   runModel(State, M);
 }
 BENCHMARK(BM_ElementwiseChainFused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
@@ -77,7 +77,7 @@ Graph transposeChain(int64_t Side) {
 void BM_MovementFolded(benchmark::State &State) {
   CompileOptions Opt;
   Opt.EnableGraphRewriting = false;
-  CompiledModel M = compileModel(transposeChain(State.range(0)), Opt);
+  CompiledModel M = cantFail(compileModel(transposeChain(State.range(0)), Opt));
   runModel(State, M);
 }
 BENCHMARK(BM_MovementFolded)->Arg(64)->Arg(160);
@@ -86,7 +86,7 @@ void BM_MovementMaterialized(benchmark::State &State) {
   CompileOptions Opt;
   Opt.EnableGraphRewriting = false;
   Opt.EnableOtherOpts = false;
-  CompiledModel M = compileModel(transposeChain(State.range(0)), Opt);
+  CompiledModel M = cantFail(compileModel(transposeChain(State.range(0)), Opt));
   runModel(State, M);
 }
 BENCHMARK(BM_MovementMaterialized)->Arg(64)->Arg(160);
@@ -95,7 +95,7 @@ void BM_ChunkSize(benchmark::State &State) {
   CompileOptions Opt;
   Opt.EnableGraphRewriting = false;
   Opt.Codegen.ChunkSize = static_cast<int>(State.range(0));
-  CompiledModel M = compileModel(elementwiseChain(1 << 16, 8), Opt);
+  CompiledModel M = cantFail(compileModel(elementwiseChain(1 << 16, 8), Opt));
   runModel(State, M);
 }
 BENCHMARK(BM_ChunkSize)->Arg(16)->Arg(64)->Arg(256)->Arg(512);

@@ -118,7 +118,7 @@ bool outputsAgree(const Graph &Before, const Graph &After) {
     Opt.EnableGraphRewriting = false;
     Opt.EnableFusion = false;
     Opt.EnableOtherOpts = false;
-    CompiledModel Model = compileModel(G, Opt);
+    CompiledModel Model = cantFail(compileModel(G, Opt));
     ExecutionContext E(Model);
     Rng Ri(7);
     std::vector<Tensor> Inputs;

@@ -3,12 +3,14 @@
 // Renders the C++ source of fused kernels (paper §4.4's code generation)
 // and demonstrates the fused-operator cache: once a fused operator is
 // generated, identical structures — in this model or the next — reuse it.
+// Compilation goes through the public facade and its Expected error model;
+// CodeEmitter itself is an internal (unstable) interface.
 //
 //===----------------------------------------------------------------------===//
 
+#include <dnnfusion/dnnfusion.h>
+
 #include "core/CodeEmitter.h"
-#include "graph/GraphBuilder.h"
-#include "runtime/ExecutionContext.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -26,7 +28,13 @@ int main() {
   NodeId T = B.transpose(D, {1, 0});
   B.markOutput(T);
 
-  CompiledModel Model = compileModel(B.take(), CompileOptions());
+  Expected<CompiledModel> Compiled = compileModel(B.take(), CompileOptions());
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n",
+                 Compiled.status().toString().c_str());
+    return 1;
+  }
+  CompiledModel Model = Compiled.takeValue();
   std::printf("fusion plan:\n%s\n", Model.Plan.toString(Model.G).c_str());
 
   FusedOpCache Cache;
@@ -49,7 +57,13 @@ int main() {
                                   B2.scalar(8.0f)),
                            {1, 0});
   B2.markOutput(T2);
-  CompiledModel Model2 = compileModel(B2.take(), CompileOptions());
+  Expected<CompiledModel> Compiled2 = compileModel(B2.take(), CompileOptions());
+  if (!Compiled2.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n",
+                 Compiled2.status().toString().c_str());
+    return 1;
+  }
+  CompiledModel Model2 = Compiled2.takeValue();
   int Hits = 0;
   for (size_t I = 0; I < Model2.Blocks.size(); ++I)
     Hits += Cache.lookupOrInsert(blockSignature(Model2.G,

@@ -1,14 +1,18 @@
-//===- examples/quickstart.cpp - build, compile, run -------------------------------===//
+//===- examples/quickstart.cpp - build, compile, serve -----------------------------===//
 //
-// The five-minute tour: build a small graph with GraphBuilder, compile it
-// with the full DNNFusion pipeline, run it, and inspect what fusion did.
+// The five-minute tour, written entirely against the stable public facade
+// (<dnnfusion/dnnfusion.h>): build a small graph with GraphBuilder, compile
+// it with the full DNNFusion pipeline, inspect the typed model signature,
+// and serve requests through an InferenceSession — with every fallible step
+// checked through the Expected error model (a malformed graph or request
+// comes back as a Status, never an abort).
 //
 //   $ ./quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "graph/GraphBuilder.h"
-#include "runtime/ExecutionContext.h"
+#include <dnnfusion/dnnfusion.h>
+
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
@@ -17,62 +21,97 @@ using namespace dnnfusion;
 
 int main() {
   // 1. Build a computational graph: conv -> batchnorm -> relu -> residual.
-  GraphBuilder B(/*Seed=*/42);
-  NodeId X = B.input(Shape({1, 3, 32, 32}), "image");
-  NodeId Conv = B.conv(X, /*OutChannels=*/8, /*Kernel=*/{3, 3},
-                       /*Strides=*/{1, 1}, /*Pads=*/{1, 1});
-  NodeId Act = B.relu(B.batchNorm(Conv));
-  NodeId Conv2 = B.conv(Act, 8, {3, 3}, {1, 1}, {1, 1});
-  NodeId Out = B.relu(B.add(Conv2, Act)); // Residual connection.
-  B.markOutput(Out);
-  Graph G = B.take();
+  //    One builder recipe serves both compilations below (full pipeline vs
+  //    no-fusion baseline) — the graph is consumed by compileModel.
+  auto BuildGraph = [] {
+    GraphBuilder B(/*Seed=*/42);
+    NodeId X = B.input(Shape({1, 3, 32, 32}), "image");
+    NodeId Conv = B.conv(X, /*OutChannels=*/8, /*Kernel=*/{3, 3},
+                         /*Strides=*/{1, 1}, /*Pads=*/{1, 1});
+    NodeId Act = B.relu(B.batchNorm(Conv));
+    NodeId Conv2 = B.conv(Act, 8, {3, 3}, {1, 1}, {1, 1});
+    B.markOutput(B.relu(B.add(Conv2, Act))); // Residual connection.
+    return B.take();
+  };
+  Graph G = BuildGraph();
   std::printf("graph: %lld operator layers, %.2f MFLOPs\n",
               static_cast<long long>(G.countLayers()),
               static_cast<double>(G.totalFlops()) / 1e6);
 
   // 2. Compile with the full pipeline: mathematical-property graph
   //    rewriting (Conv+BatchNorm folds into the weights), mapping-type
-  //    fusion planning, and fused code generation.
-  CompiledModel Model = compileModel(std::move(G), CompileOptions());
+  //    fusion planning, and fused code generation. Compilation validates
+  //    the graph and returns an error Status instead of aborting on a
+  //    malformed one.
+  Expected<CompiledModel> Model = compileModel(std::move(G), CompileOptions());
+  if (!Model.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n",
+                 Model.status().toString().c_str());
+    return 1;
+  }
   std::printf("after compilation: %lld fused kernels (rewriting applied %d "
               "rules)\n",
-              static_cast<long long>(Model.kernelLaunches()),
-              Model.RewriteInfo.Applications);
+              static_cast<long long>(Model->kernelLaunches()),
+              Model->RewriteInfo.Applications);
+  std::printf("model signature:\n%s", Model->Signature.toString().c_str());
 
-  // 3. Run it.
+  // 3. Serve it. Inputs bind by signature name; a request with a wrong
+  //    name, shape, dtype, or arity is rejected with a Status — the
+  //    session (and the process) survives.
+  InferenceSession Session(Model.takeValue());
   Rng R(7);
   Tensor Image(Shape({1, 3, 32, 32}));
   fillRandom(Image, R);
-  ExecutionContext E(Model);
   ExecutionStats Stats;
-  std::vector<Tensor> Outputs = E.run({Image}, &Stats);
+  Expected<std::vector<Tensor>> Outputs =
+      Session.run({{"image", Image}}, &Stats);
+  if (!Outputs.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 Outputs.status().toString().c_str());
+    return 1;
+  }
   std::printf("ran in %.3f ms: %lld kernel launches, %.2f KB intermediate "
               "traffic, output shape %s\n",
               Stats.WallMs, static_cast<long long>(Stats.KernelLaunches),
               static_cast<double>(Stats.MainBytesRead +
                                   Stats.MainBytesWritten) /
                   1024.0,
-              Outputs[0].shape().toString().c_str());
+              (*Outputs)[0].shape().toString().c_str());
 
-  // 4. Compare against the no-fusion baseline to see what fusion bought.
-  GraphBuilder B2(42);
-  NodeId X2 = B2.input(Shape({1, 3, 32, 32}), "image");
-  NodeId C2 = B2.conv(X2, 8, {3, 3}, {1, 1}, {1, 1});
-  NodeId A2 = B2.relu(B2.batchNorm(C2));
-  NodeId C3 = B2.conv(A2, 8, {3, 3}, {1, 1}, {1, 1});
-  B2.markOutput(B2.relu(B2.add(C3, A2)));
+  // What rejection looks like (this is the serving error boundary, not a
+  // crash): bind a wrong-shaped image to the same input name.
+  Expected<std::vector<Tensor>> Bad =
+      Session.run({{"image", Tensor::zeros(Shape({1, 3, 8, 8}))}});
+  std::printf("wrong-shape request rejected: %s\n",
+              Bad.ok() ? "UNEXPECTEDLY ACCEPTED" : Bad.status().toString().c_str());
+  if (Bad.ok())
+    return 1;
+
+  // 4. Compare against the no-fusion baseline to see what fusion bought —
+  //    same builder recipe, optimizations off.
   CompileOptions Off;
   Off.EnableGraphRewriting = false;
   Off.EnableFusion = false;
   Off.EnableOtherOpts = false;
-  CompiledModel Baseline = compileModel(B2.take(), Off);
-  ExecutionContext E2(Baseline);
+  Expected<CompiledModel> Baseline = compileModel(BuildGraph(), Off);
+  if (!Baseline.ok()) {
+    std::fprintf(stderr, "baseline compilation failed: %s\n",
+                 Baseline.status().toString().c_str());
+    return 1;
+  }
+  InferenceSession BaselineSession(Baseline.takeValue());
   ExecutionStats S2;
-  std::vector<Tensor> Ref = E2.run({Image}, &S2);
+  Expected<std::vector<Tensor>> Ref = BaselineSession.run({Image}, &S2);
+  if (!Ref.ok()) {
+    std::fprintf(stderr, "baseline inference failed: %s\n",
+                 Ref.status().toString().c_str());
+    return 1;
+  }
+  bool Agree = allClose((*Outputs)[0], (*Ref)[0], 1e-3f, 1e-3f);
   std::printf("baseline: %lld launches, %.2f KB traffic; outputs agree: %s\n",
               static_cast<long long>(S2.KernelLaunches),
               static_cast<double>(S2.MainBytesRead + S2.MainBytesWritten) /
                   1024.0,
-              allClose(Outputs[0], Ref[0], 1e-3f, 1e-3f) ? "yes" : "NO");
-  return 0;
+              Agree ? "yes" : "NO");
+  return Agree ? 0 : 1;
 }

@@ -3,33 +3,38 @@
 // The workload class the paper's introduction motivates: extremely deep
 // transformer exports whose layer count (not FLOPs) limits performance.
 // Runs TinyBERT through every pipeline stage and reports what each one
-// contributed.
+// contributed. Runtime entry points come through the public facade; any
+// compile/inference error exits non-zero instead of aborting.
 //
 //===----------------------------------------------------------------------===//
 
+#include <dnnfusion/dnnfusion.h>
+
 #include "models/ModelZoo.h"
 #include "runtime/DeviceModel.h"
-#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace dnnfusion;
 
 namespace {
 
-double timeModel(const CompiledModel &M) {
-  ExecutionContext E(M);
+double timeModel(InferenceSession &Session) {
   Rng R(3);
   std::vector<Tensor> Inputs;
-  for (NodeId Id : M.InputIds) {
-    Tensor T(M.G.node(Id).OutShape);
+  for (const TensorSpec &Spec : Session.signature().Inputs) {
+    Tensor T(Spec.Sh);
     fillRandom(T, R, -0.5f, 0.5f);
     Inputs.push_back(std::move(T));
   }
   ExecutionStats Stats;
-  E.run(Inputs, &Stats); // Warm-up.
-  E.run(Inputs, &Stats);
+  if (!Session.run(Inputs, &Stats).ok() ||  // Warm-up.
+      !Session.run(Inputs, &Stats).ok()) {
+    std::fprintf(stderr, "TinyBERT inference failed\n");
+    std::exit(1);
+  }
   return Stats.WallMs;
 }
 
@@ -69,11 +74,18 @@ int main() {
 
   DeviceProfile Gpu = snapdragon865Gpu();
   for (const Stage &S : Stages) {
-    CompiledModel M = compileModel(buildTinyBert(), S.Opt);
+    Expected<CompiledModel> M = compileModel(buildTinyBert(), S.Opt);
+    if (!M.ok()) {
+      std::fprintf(stderr, "compilation failed: %s\n",
+                   M.status().toString().c_str());
+      return 1;
+    }
+    long long Kernels = M->kernelLaunches();
+    double GpuMs = modelLatencyMs(*M, Gpu);
+    InferenceSession Session(M.takeValue());
     std::printf("%-42s kernels=%4lld  cpu=%6.2f ms  modeled-mobile-gpu=%6.3f "
                 "ms\n",
-                S.Name, static_cast<long long>(M.kernelLaunches()),
-                timeModel(M), modelLatencyMs(M, Gpu));
+                S.Name, Kernels, timeModel(Session), GpuMs);
   }
   std::printf("\nThe attention projections (MatMul + bias Add + Reshape + "
               "Transpose) and the LayerNorm tails each collapse into single "

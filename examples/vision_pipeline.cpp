@@ -2,13 +2,16 @@
 //
 // The mobile-vision workload: YOLO-V4 with Mish activations, SPP, and
 // PANet routing. Shows per-framework fusion coverage on one real graph and
-// the resulting latency/traffic differences on the shared runtime.
+// the resulting latency/traffic differences on the shared runtime. Runtime
+// entry points come exclusively through the public facade; a compilation
+// or inference error exits non-zero instead of aborting.
 //
 //===----------------------------------------------------------------------===//
 
+#include <dnnfusion/dnnfusion.h>
+
 #include "baselines/FixedPatternFuser.h"
 #include "models/ModelZoo.h"
-#include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
@@ -26,11 +29,30 @@ int main() {
   Tensor Image(Shape({1, 3, 64, 64}));
   fillRandom(Image, R);
 
-  auto Report = [&](const char *Name, CompiledModel M) {
-    ExecutionContext E(M);
+  bool Failed = false;
+  auto Report = [&](const char *Name, Expected<CompiledModel> Model) {
+    if (!Model.ok()) {
+      std::fprintf(stderr, "%s: compilation failed: %s\n", Name,
+                   Model.status().toString().c_str());
+      Failed = true;
+      return;
+    }
+    InferenceSession Session(Model.takeValue());
     ExecutionStats Stats;
-    E.run({Image}, &Stats); // Warm-up.
-    E.run({Image}, &Stats);
+    Expected<std::vector<Tensor>> Warmup = Session.run({Image});
+    if (!Warmup.ok()) {
+      std::fprintf(stderr, "%s: warm-up inference failed: %s\n", Name,
+                   Warmup.status().toString().c_str());
+      Failed = true;
+      return;
+    }
+    Expected<std::vector<Tensor>> Out = Session.run({Image}, &Stats);
+    if (!Out.ok()) {
+      std::fprintf(stderr, "%s: inference failed: %s\n", Name,
+                   Out.status().toString().c_str());
+      Failed = true;
+      return;
+    }
     std::printf("%-14s kernels=%4lld  latency=%7.2f ms  traffic=%6.2f MB  "
                 "peak-arena=%5.2f MB\n",
                 Name, static_cast<long long>(Stats.KernelLaunches),
@@ -50,6 +72,8 @@ int main() {
            compileModelWithPlan(std::move(Gf), std::move(Plan)));
   }
   Report("DNNFusion", compileModel(buildYoloV4(), CompileOptions()));
+  if (Failed)
+    return 1;
 
   std::printf("\nWhy DNNFusion wins here: Mish (x * tanh(softplus(x))) and "
               "the SPP/PANet Concat+Upsample routing are not in any "

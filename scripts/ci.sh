@@ -20,9 +20,12 @@ for CONFIG in "${CONFIGS[@]}"; do
   if [ "$CONFIG" = "tsan" ]; then
     BUILD_DIR="build-ci-tsan"
     echo "=== [tsan] configure ==="
+    # Examples explicitly ON (a stale build-ci-tsan cache from before this
+    # flag would otherwise keep OFF): they are registered as smoke tests,
+    # so the public-API walk-throughs also execute under ThreadSanitizer.
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DDNNFUSION_TSAN=ON -DDNNFUSION_BUILD_BENCH=OFF \
-          -DDNNFUSION_BUILD_EXAMPLES=OFF
+          -DDNNFUSION_BUILD_EXAMPLES=ON
     echo "=== [tsan] build ==="
     cmake --build "$BUILD_DIR" -j "$JOBS"
     echo "=== [tsan] smoke tests under ThreadSanitizer ==="

@@ -15,7 +15,18 @@ NodeId Graph::addInput(Shape S, std::string Name) {
   N.Id = static_cast<NodeId>(Nodes.size());
   N.Kind = OpKind::Input;
   N.OutShape = std::move(S);
-  N.Name = Name.empty() ? formatString("input%d", N.Id) : std::move(Name);
+  if (Name.empty()) {
+    // Generated defaults must not collide with explicit names (input
+    // names are the model's calling convention; validate() rejects
+    // duplicates), so probe until free.
+    int Suffix = N.Id;
+    do {
+      Name = formatString("input%d", Suffix++);
+    } while (std::any_of(Nodes.begin(), Nodes.end(), [&](const Node &Other) {
+      return Other.Kind == OpKind::Input && Other.Name == Name;
+    }));
+  }
+  N.Name = std::move(Name);
   Nodes.push_back(std::move(N));
   return Nodes.back().Id;
 }
@@ -161,38 +172,82 @@ void Graph::eraseDeadNodes() {
       N.Dead = true;
 }
 
-void Graph::verify() const {
+Status Graph::validate() const {
+  if (OutputIds.empty())
+    return Status::error(ErrorCode::InvalidGraph,
+                         "graph has no outputs (markOutput was never called)");
+  std::vector<std::string> InputNames;
   for (const Node &N : Nodes) {
     if (N.Dead)
       continue;
     if (N.Kind == OpKind::Input || N.Kind == OpKind::Constant) {
-      DNNF_CHECK(N.Inputs.empty(), "%s node '%s' must have no inputs",
-                 opKindName(N.Kind), N.Name.c_str());
+      if (!N.Inputs.empty())
+        return Status::errorf(ErrorCode::InvalidGraph,
+                              "%s node '%s' must have no inputs",
+                              opKindName(N.Kind), N.Name.c_str());
+      if (N.Kind == OpKind::Input) {
+        if (std::find(InputNames.begin(), InputNames.end(), N.Name) !=
+            InputNames.end())
+          return Status::errorf(
+              ErrorCode::InvalidGraph,
+              "duplicate input name '%s' (input names form the model's "
+              "calling convention and must be unique)",
+              N.Name.c_str());
+        InputNames.push_back(N.Name);
+      }
       continue;
     }
     Arity A = opArity(N.Kind);
-    DNNF_CHECK(static_cast<int>(N.Inputs.size()) >= A.Min &&
-                   (A.Max < 0 || static_cast<int>(N.Inputs.size()) <= A.Max),
-               "node '%s' has invalid arity %zu", N.Name.c_str(),
-               N.Inputs.size());
+    if (static_cast<int>(N.Inputs.size()) < A.Min ||
+        (A.Max >= 0 && static_cast<int>(N.Inputs.size()) > A.Max))
+      return Status::errorf(ErrorCode::InvalidGraph,
+                            "node '%s' has invalid arity %zu", N.Name.c_str(),
+                            N.Inputs.size());
     for (NodeId In : N.Inputs)
-      DNNF_CHECK(In >= 0 && In < numNodes() &&
-                     !Nodes[static_cast<size_t>(In)].Dead,
-                 "node '%s' references dead or invalid input %d",
-                 N.Name.c_str(), In);
-    Shape Inferred = inferShape(N.Kind, N.Attrs, inputShapes(N.Id));
-    DNNF_CHECK(Inferred == N.OutShape,
-               "node '%s' stored shape %s disagrees with inference %s",
-               N.Name.c_str(), N.OutShape.toString().c_str(),
-               Inferred.toString().c_str());
+      if (In < 0 || In >= numNodes() || Nodes[static_cast<size_t>(In)].Dead)
+        return Status::errorf(ErrorCode::InvalidGraph,
+                              "node '%s' references dead or invalid input %d",
+                              N.Name.c_str(), In);
+    // Shape inference itself diagnoses through DNNF_CHECK (broadcast
+    // incompatibility, bad attributes, rank mismatches); trap those so a
+    // corrupted graph reaching the compile boundary is rejected, not
+    // fatal. inferShape is pure computation, so throwing out is safe.
+    Shape Inferred;
+    try {
+      ScopedFatalErrorTrap Trap;
+      Inferred = inferShape(N.Kind, N.Attrs, inputShapes(N.Id));
+    } catch (const detail::TrappedFatalError &E) {
+      return Status::errorf(ErrorCode::InvalidGraph,
+                            "node '%s' fails shape inference: %s",
+                            N.Name.c_str(), E.Message.c_str());
+    }
+    if (Inferred != N.OutShape)
+      return Status::errorf(
+          ErrorCode::InvalidGraph,
+          "node '%s' stored shape %s disagrees with inference %s",
+          N.Name.c_str(), N.OutShape.toString().c_str(),
+          Inferred.toString().c_str());
   }
   // Acyclicity: the topological order must cover every live node.
   size_t Live = 0;
   for (const Node &N : Nodes)
     Live += N.Dead ? 0 : 1;
-  DNNF_CHECK(topologicalOrder().size() == Live, "graph contains a cycle");
-  for (NodeId Out : OutputIds)
-    DNNF_CHECK(!node(Out).Dead, "graph output %d is dead", Out);
+  if (topologicalOrder().size() != Live)
+    return Status::error(ErrorCode::InvalidGraph, "graph contains a cycle");
+  for (NodeId Out : OutputIds) {
+    if (Out < 0 || Out >= numNodes())
+      return Status::errorf(ErrorCode::InvalidGraph,
+                            "graph output %d out of range", Out);
+    if (node(Out).Dead)
+      return Status::errorf(ErrorCode::InvalidGraph, "graph output %d is dead",
+                            Out);
+  }
+  return Status();
+}
+
+void Graph::verify() const {
+  Status S = validate();
+  DNNF_CHECK(S.ok(), "%s", S.message().c_str());
 }
 
 std::string Graph::toString() const {

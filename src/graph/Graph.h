@@ -18,6 +18,7 @@
 
 #include "ops/Attributes.h"
 #include "ops/OpKind.h"
+#include "support/Status.h"
 #include "tensor/Tensor.h"
 
 #include <string>
@@ -84,8 +85,15 @@ public:
   /// Marks nodes unreachable from the outputs dead.
   void eraseDeadNodes();
 
-  /// Checks arity, liveness, acyclicity, and that every stored shape
-  /// matches inference. Aborts with a diagnostic on failure.
+  /// Checks arity, liveness, acyclicity, duplicate input names, the
+  /// presence of at least one output, and that every stored shape matches
+  /// inference. Returns the first violation as a Status instead of
+  /// aborting — this is what the compile boundary calls on user-supplied
+  /// graphs.
+  Status validate() const;
+
+  /// validate(), but aborts with the diagnostic on failure. For internal
+  /// invariant checks (e.g. after a rewrite pass).
   void verify() const;
 
   /// Multi-line text dump for debugging and golden tests.

@@ -2,6 +2,8 @@
 
 #include "runtime/InferenceSession.h"
 
+#include "support/Timer.h"
+
 using namespace dnnfusion;
 
 InferenceSession::InferenceSession(CompiledModel Model,
@@ -11,6 +13,11 @@ InferenceSession::InferenceSession(CompiledModel Model,
 unsigned InferenceSession::contextsCreated() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Created;
+}
+
+SessionMetrics InferenceSession::metrics() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metrics;
 }
 
 std::unique_ptr<ExecutionContext> InferenceSession::acquire() {
@@ -53,8 +60,43 @@ void InferenceSession::release(std::unique_ptr<ExecutionContext> Ctx) {
   ContextReleased.notify_one();
 }
 
-std::vector<Tensor> InferenceSession::run(const std::vector<Tensor> &Inputs,
-                                          ExecutionStats *Stats) {
+Status InferenceSession::validateRequest(
+    const std::vector<Tensor> &Inputs) const {
+  const ModelSignature &Sig = M.Signature;
+  if (Inputs.size() != Sig.Inputs.size())
+    return Status::errorf(ErrorCode::InvalidArgument,
+                          "request has %zu inputs, model expects %zu",
+                          Inputs.size(), Sig.Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const TensorSpec &Spec = Sig.Inputs[I];
+    if (Inputs[I].isNull())
+      return Status::errorf(ErrorCode::InvalidArgument,
+                            "input %zu ('%s') is a null tensor", I,
+                            Spec.Name.c_str());
+    if (Inputs[I].dtype() != Spec.Ty)
+      return Status::errorf(ErrorCode::InvalidArgument,
+                            "input %zu ('%s') has dtype %s, model expects %s",
+                            I, Spec.Name.c_str(),
+                            dtypeName(Inputs[I].dtype()), dtypeName(Spec.Ty));
+    if (Inputs[I].shape() != Spec.Sh)
+      return Status::errorf(ErrorCode::InvalidArgument,
+                            "input %zu ('%s') has shape %s, model expects %s",
+                            I, Spec.Name.c_str(),
+                            Inputs[I].shape().toString().c_str(),
+                            Spec.Sh.toString().c_str());
+  }
+  return Status();
+}
+
+Status InferenceSession::reject(Status S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Metrics.RequestsRejected;
+  return S;
+}
+
+std::vector<Tensor>
+InferenceSession::runValidated(const std::vector<Tensor> &Inputs,
+                               ExecutionStats *Stats) {
   std::unique_ptr<ExecutionContext> Ctx = acquire();
   // Return the lease even if run() throws; losing it would shrink (or,
   // capped, eventually livelock) the session.
@@ -63,15 +105,62 @@ std::vector<Tensor> InferenceSession::run(const std::vector<Tensor> &Inputs,
     std::unique_ptr<ExecutionContext> &Ctx;
     ~Lease() { Session.release(std::move(Ctx)); }
   } Guard{*this, Ctx};
-  return Ctx->run(Inputs, Stats);
+  // Started after acquire(): CumulativeWallMs is execution time, not time
+  // spent blocked waiting for a context under a MaxContexts cap.
+  WallTimer Timer;
+  std::vector<Tensor> Outputs = Ctx->run(Inputs, Stats);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Metrics.RequestsServed;
+    Metrics.CumulativeWallMs += Timer.millis();
+  }
+  return Outputs;
 }
 
-std::vector<std::vector<Tensor>>
+Expected<std::vector<Tensor>>
+InferenceSession::run(const std::vector<Tensor> &Inputs,
+                      ExecutionStats *Stats) {
+  if (Status S = validateRequest(Inputs); !S.ok())
+    return reject(std::move(S));
+  return runValidated(Inputs, Stats);
+}
+
+Expected<std::vector<Tensor>>
+InferenceSession::run(const std::map<std::string, Tensor> &Inputs,
+                      ExecutionStats *Stats) {
+  const ModelSignature &Sig = M.Signature;
+  for (const auto &Entry : Inputs)
+    if (Sig.inputIndex(Entry.first) < 0)
+      return reject(Status::errorf(ErrorCode::NotFound,
+                                   "model has no input named '%s'",
+                                   Entry.first.c_str()));
+  if (Inputs.size() != Sig.Inputs.size()) {
+    for (const TensorSpec &Spec : Sig.Inputs)
+      if (!Inputs.count(Spec.Name))
+        return reject(Status::errorf(ErrorCode::InvalidArgument,
+                                     "request is missing input '%s'",
+                                     Spec.Name.c_str()));
+  }
+  std::vector<Tensor> Positional;
+  Positional.reserve(Sig.Inputs.size());
+  for (const TensorSpec &Spec : Sig.Inputs)
+    Positional.push_back(Inputs.at(Spec.Name));
+  if (Status S = validateRequest(Positional); !S.ok())
+    return reject(std::move(S));
+  return runValidated(Positional, Stats);
+}
+
+Expected<std::vector<std::vector<Tensor>>>
 InferenceSession::runBatch(const std::vector<std::vector<Tensor>> &Batch) {
+  for (size_t R = 0; R < Batch.size(); ++R)
+    if (Status S = validateRequest(Batch[R]); !S.ok())
+      return reject(Status::errorf(S.code(), "batch request %zu: %s", R,
+                                   S.message().c_str()));
   std::vector<std::vector<Tensor>> Results(Batch.size());
   ThreadPool &P = Opts.Exec.Pool ? *Opts.Exec.Pool : ThreadPool::global();
   P.forEach(static_cast<int64_t>(Batch.size()), [&](int64_t I, unsigned) {
-    Results[static_cast<size_t>(I)] = run(Batch[static_cast<size_t>(I)]);
+    Results[static_cast<size_t>(I)] =
+        runValidated(Batch[static_cast<size_t>(I)], nullptr);
   });
   return Results;
 }

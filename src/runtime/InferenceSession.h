@@ -13,14 +13,23 @@
 /// state is per-lease. runBatch() fans a whole batch of independent
 /// requests out across the thread pool.
 ///
+/// This is the process's request boundary, so it follows the recoverable
+/// error model (support/Status.h): every request is validated against the
+/// model's ModelSignature — arity, per-input shape, and dtype — *before* a
+/// context is leased, and a malformed request returns a Status instead of
+/// aborting. Inputs may be bound positionally (signature order) or by
+/// name.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DNNFUSION_RUNTIME_INFERENCESESSION_H
 #define DNNFUSION_RUNTIME_INFERENCESESSION_H
 
 #include "runtime/ExecutionContext.h"
+#include "support/Status.h"
 
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 
@@ -36,6 +45,17 @@ struct SessionOptions {
   unsigned MaxContexts = 0;
 };
 
+/// Monotonic serving counters, snapshot via InferenceSession::metrics().
+struct SessionMetrics {
+  /// Requests that validated and executed to completion.
+  uint64_t RequestsServed = 0;
+  /// Requests rejected by signature validation (never reached a context).
+  uint64_t RequestsRejected = 0;
+  /// Total wall time spent executing served requests, in milliseconds.
+  /// Under concurrent clients, the sum over requests (not elapsed time).
+  double CumulativeWallMs = 0.0;
+};
+
 /// Thread-safe serving wrapper around one compiled model.
 class InferenceSession {
 public:
@@ -43,16 +63,36 @@ public:
                             const SessionOptions &Options = {});
 
   const CompiledModel &model() const { return M; }
+  /// The typed calling convention requests are validated against.
+  const ModelSignature &signature() const { return M.Signature; }
 
-  /// Runs one request. Safe to call from any number of threads at once;
-  /// each call executes on its own leased context.
-  std::vector<Tensor> run(const std::vector<Tensor> &Inputs,
-                          ExecutionStats *Stats = nullptr);
+  /// Runs one request with inputs bound positionally (signature order).
+  /// Safe to call from any number of threads at once; each call executes
+  /// on its own leased context. A request failing signature validation
+  /// (arity, shape, dtype) is rejected with a Status before any context is
+  /// leased — the session stays fully serviceable.
+  Expected<std::vector<Tensor>> run(const std::vector<Tensor> &Inputs,
+                                    ExecutionStats *Stats = nullptr);
+
+  /// Runs one request with inputs bound by signature name. Every model
+  /// input must be bound exactly once; unknown names are rejected.
+  Expected<std::vector<Tensor>>
+  run(const std::map<std::string, Tensor> &Inputs,
+      ExecutionStats *Stats = nullptr);
 
   /// Runs every request of \p Batch, dispatching them across the thread
-  /// pool, and returns the outputs in batch order.
-  std::vector<std::vector<Tensor>>
+  /// pool, and returns the outputs in batch order. The whole batch is
+  /// validated up front; one malformed request rejects the batch (with its
+  /// index in the message) before anything executes.
+  Expected<std::vector<std::vector<Tensor>>>
   runBatch(const std::vector<std::vector<Tensor>> &Batch);
+
+  /// Validates \p Inputs against the model signature without running:
+  /// arity, then per-input dtype and shape. Ok iff run() would accept.
+  Status validateRequest(const std::vector<Tensor> &Inputs) const;
+
+  /// Serving counters so far (atomic snapshot).
+  SessionMetrics metrics() const;
 
   /// Contexts created so far (high-water mark of concurrency served).
   unsigned contextsCreated() const;
@@ -60,6 +100,10 @@ public:
 private:
   std::unique_ptr<ExecutionContext> acquire();
   void release(std::unique_ptr<ExecutionContext> Ctx);
+  /// Leases a context and executes an already-validated request.
+  std::vector<Tensor> runValidated(const std::vector<Tensor> &Inputs,
+                                   ExecutionStats *Stats);
+  Status reject(Status S);
 
   CompiledModel M;
   SessionOptions Opts;
@@ -68,6 +112,7 @@ private:
   std::condition_variable ContextReleased;
   std::vector<std::unique_ptr<ExecutionContext>> FreeContexts;
   unsigned Created = 0;
+  SessionMetrics Metrics;
 };
 
 } // namespace dnnfusion

@@ -125,14 +125,18 @@ void finishCompilation(CompiledModel &M, Graph &G, bool WavefrontSafe) {
   for (int Id = 0; Id < G.numNodes(); ++Id)
     if (!G.node(Id).Dead && G.node(Id).Kind == OpKind::Input)
       M.InputIds.push_back(Id);
+  M.Signature = computeSignature(G, M.InputIds);
 
   M.G = std::move(G);
 }
 
 } // namespace
 
-CompiledModel dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
-                                              const CodegenOptions &Codegen) {
+Expected<CompiledModel>
+dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
+                                const CodegenOptions &Codegen) {
+  if (Status S = G.validate(); !S.ok())
+    return S;
   CompiledModel M;
   M.Plan = std::move(Plan);
   M.Codegen = Codegen;
@@ -144,8 +148,13 @@ CompiledModel dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
   return M;
 }
 
-CompiledModel dnnfusion::compileModel(Graph G, const CompileOptions &Options,
-                                      LatencyOracle *Oracle) {
+Expected<CompiledModel> dnnfusion::compileModel(Graph G,
+                                                const CompileOptions &Options,
+                                                LatencyOracle *Oracle) {
+  // The trust boundary for user-supplied model structure: everything past
+  // this validation may DNNF_CHECK internal invariants freely.
+  if (Status S = G.validate(); !S.ok())
+    return S;
   CompiledModel M;
   WallTimer Timer;
 

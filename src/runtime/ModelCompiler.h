@@ -19,6 +19,8 @@
 #include "core/FusionPlanner.h"
 #include "core/GraphRewriter.h"
 #include "runtime/MemoryPlanner.h"
+#include "runtime/ModelSignature.h"
+#include "support/Status.h"
 
 namespace dnnfusion {
 
@@ -56,6 +58,10 @@ struct CompiledModel {
   CodegenOptions Codegen;
 
   std::vector<NodeId> InputIds;
+  /// Typed calling convention: named/shaped/dtyped inputs (InputIds order)
+  /// and outputs (graph-output order). What InferenceSession validates
+  /// every request against.
+  ModelSignature Signature;
 
   // Compilation statistics.
   RewriteStats RewriteInfo;
@@ -77,16 +83,21 @@ struct CompiledModel {
 };
 
 /// Compiles \p G (consumed). \p Oracle resolves yellow fusion decisions
-/// (null = analytic cost model).
-CompiledModel compileModel(Graph G, const CompileOptions &Options = {},
-                           LatencyOracle *Oracle = nullptr);
+/// (null = analytic cost model). The graph is validated first; a malformed
+/// graph (no outputs, bad arity, shape disagreement, cycle, duplicate
+/// input names) returns an InvalidGraph Status instead of aborting —
+/// compilation is the trust boundary for user-supplied model structure.
+Expected<CompiledModel> compileModel(Graph G, const CompileOptions &Options = {},
+                                     LatencyOracle *Oracle = nullptr);
 
 /// Compiles \p G under an externally produced fusion plan (the framework
 /// baselines of Tables 5/6: their pattern fusers decide the plan, this
 /// runtime executes it). No rewriting is applied. Memory is planned
-/// wavefront-safe, like compileModel's default.
-CompiledModel compileModelWithPlan(Graph G, FusionPlan Plan,
-                                   const CodegenOptions &Codegen = {});
+/// wavefront-safe, like compileModel's default. Graph validation errors
+/// are returned like compileModel's; an inconsistent *plan* over a valid
+/// graph is an internal invariant violation and still aborts.
+Expected<CompiledModel> compileModelWithPlan(Graph G, FusionPlan Plan,
+                                             const CodegenOptions &Codegen = {});
 
 /// Merges pure data-movement blocks into their producer block so boundary
 /// Transpose/Reshape operators become index arithmetic on the producer's

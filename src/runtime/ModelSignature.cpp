@@ -1,0 +1,44 @@
+//===- runtime/ModelSignature.cpp - Typed model interface -------------------------===//
+
+#include "runtime/ModelSignature.h"
+
+#include "graph/Graph.h"
+
+using namespace dnnfusion;
+
+std::string TensorSpec::toString() const {
+  return Name + ": " + Sh.toString() + " " + dtypeName(Ty);
+}
+
+int ModelSignature::inputIndex(const std::string &Name) const {
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    if (Inputs[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string ModelSignature::toString() const {
+  std::string Out = "inputs:\n";
+  for (const TensorSpec &S : Inputs)
+    Out += "  " + S.toString() + "\n";
+  Out += "outputs:\n";
+  for (const TensorSpec &S : Outputs)
+    Out += "  " + S.toString() + "\n";
+  return Out;
+}
+
+ModelSignature dnnfusion::computeSignature(const Graph &G,
+                                           const std::vector<int> &InputIds) {
+  ModelSignature Sig;
+  Sig.Inputs.reserve(InputIds.size());
+  for (NodeId Id : InputIds) {
+    const Node &N = G.node(Id);
+    Sig.Inputs.push_back(TensorSpec{N.Name, N.OutShape, DType::Float32});
+  }
+  Sig.Outputs.reserve(G.outputs().size());
+  for (NodeId Id : G.outputs()) {
+    const Node &N = G.node(Id);
+    Sig.Outputs.push_back(TensorSpec{N.Name, N.OutShape, DType::Float32});
+  }
+  return Sig;
+}

@@ -1,0 +1,61 @@
+//===- runtime/ModelSignature.h - Typed model interface ----------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed calling convention of a compiled model: the name, shape, and
+/// element type of every model input and output, in binding order. Computed
+/// once at compile time (finishCompilation) and stored on CompiledModel, it
+/// is what the serving layer validates every inference request against —
+/// and what lets clients bind inputs by name instead of position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_RUNTIME_MODELSIGNATURE_H
+#define DNNFUSION_RUNTIME_MODELSIGNATURE_H
+
+#include "tensor/DType.h"
+#include "tensor/Shape.h"
+
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+class Graph;
+
+/// One named, shaped, dtyped model input or output.
+struct TensorSpec {
+  std::string Name;
+  Shape Sh;
+  DType Ty = DType::Float32;
+
+  /// "name: 1x3x32x32 f32".
+  std::string toString() const;
+};
+
+/// The full typed interface of one compiled model. Input order matches
+/// CompiledModel::InputIds (the positional run() convention); output order
+/// matches Graph::outputs().
+struct ModelSignature {
+  std::vector<TensorSpec> Inputs;
+  std::vector<TensorSpec> Outputs;
+
+  /// Position of input \p Name, or -1 when no input carries that name.
+  int inputIndex(const std::string &Name) const;
+
+  /// Multi-line rendering for diagnostics and tooling.
+  std::string toString() const;
+};
+
+/// Computes the signature of \p G: inputs in \p InputIds order, outputs in
+/// graph-output order. Names come from the graph nodes (GraphBuilder's
+/// input()/markOutput() names, or the generated defaults).
+ModelSignature computeSignature(const Graph &G,
+                                const std::vector<int> &InputIds);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_RUNTIME_MODELSIGNATURE_H

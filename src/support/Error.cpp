@@ -2,25 +2,25 @@
 
 #include "support/Error.h"
 
+#include "support/StringUtils.h"
+
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace dnnfusion;
 
-static std::string vformatToString(const char *Fmt, va_list Args) {
-  va_list Copy;
-  va_copy(Copy, Args);
-  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
-  va_end(Copy);
-  if (Needed < 0)
-    return std::string(Fmt);
-  std::string Out(static_cast<size_t>(Needed), '\0');
-  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
-  return Out;
-}
+namespace {
+thread_local int TrapDepth = 0;
+} // namespace
+
+ScopedFatalErrorTrap::ScopedFatalErrorTrap() { ++TrapDepth; }
+ScopedFatalErrorTrap::~ScopedFatalErrorTrap() { --TrapDepth; }
+bool ScopedFatalErrorTrap::active() { return TrapDepth > 0; }
 
 void dnnfusion::reportFatalError(const std::string &Message) {
+  if (ScopedFatalErrorTrap::active())
+    throw detail::TrappedFatalError{Message};
   std::fprintf(stderr, "dnnfusion fatal error: %s\n", Message.c_str());
   std::fflush(stderr);
   std::abort();
@@ -29,7 +29,7 @@ void dnnfusion::reportFatalError(const std::string &Message) {
 void dnnfusion::reportFatalErrorf(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  std::string Message = vformatToString(Fmt, Args);
+  std::string Message = vformatString(Fmt, Args);
   va_end(Args);
   reportFatalError(Message);
 }
@@ -37,7 +37,7 @@ void dnnfusion::reportFatalErrorf(const char *Fmt, ...) {
 std::string dnnfusion::detail::formatCheckMessage(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  std::string Message = vformatToString(Fmt, Args);
+  std::string Message = vformatString(Fmt, Args);
   va_end(Args);
   return Message;
 }

@@ -18,12 +18,40 @@
 
 namespace dnnfusion {
 
-/// Prints \p Message to stderr and aborts. Never returns.
+/// Prints \p Message to stderr and aborts — unless a ScopedFatalErrorTrap
+/// is active on this thread, in which case it throws
+/// detail::TrappedFatalError for the trap's creator to convert into a
+/// recoverable error.
 [[noreturn]] void reportFatalError(const std::string &Message);
 
 /// printf-style variant of reportFatalError.
 [[noreturn]] void reportFatalErrorf(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Scoped, thread-local interception of fatal errors: while a trap is
+/// alive on the current thread, reportFatalError/DNNF_CHECK throws
+/// detail::TrappedFatalError instead of aborting. This is how the compile
+/// boundary turns diagnostics buried in shared helpers (e.g. shape
+/// inference) into Status errors without teaching every helper about the
+/// recoverable error model. Wrap only pure computation: the exception
+/// must not unwind through code holding locks or other non-RAII state.
+class ScopedFatalErrorTrap {
+public:
+  ScopedFatalErrorTrap();
+  ~ScopedFatalErrorTrap();
+  ScopedFatalErrorTrap(const ScopedFatalErrorTrap &) = delete;
+  ScopedFatalErrorTrap &operator=(const ScopedFatalErrorTrap &) = delete;
+
+  /// True when a trap is active on the calling thread.
+  static bool active();
+};
+
+namespace detail {
+/// Thrown by reportFatalError under an active ScopedFatalErrorTrap.
+struct TrappedFatalError {
+  std::string Message;
+};
+} // namespace detail
 
 } // namespace dnnfusion
 

@@ -1,0 +1,49 @@
+//===- support/Status.cpp - Recoverable error model ------------------------------===//
+
+#include "support/Status.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+
+using namespace dnnfusion;
+
+const char *dnnfusion::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid_argument";
+  case ErrorCode::InvalidGraph:
+    return "invalid_graph";
+  case ErrorCode::NotFound:
+    return "not_found";
+  case ErrorCode::FailedPrecondition:
+    return "failed_precondition";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+Status Status::error(ErrorCode Code, std::string Message) {
+  DNNF_CHECK(Code != ErrorCode::Ok, "Status::error requires a non-Ok code");
+  Status S;
+  S.Code = Code;
+  S.Message = std::move(Message);
+  return S;
+}
+
+Status Status::errorf(ErrorCode Code, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Message = vformatString(Fmt, Args);
+  va_end(Args);
+  return error(Code, std::move(Message));
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "ok";
+  return std::string(errorCodeName(Code)) + ": " + Message;
+}

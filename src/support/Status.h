@@ -1,0 +1,137 @@
+//===- support/Status.h - Recoverable error model ----------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable half of the error model. Library-internal invariants
+/// abort via DNNF_CHECK (support/Error.h); everything a *caller* can get
+/// wrong — a malformed graph handed to the compile boundary, a bad
+/// inference request handed to a serving session — is reported through the
+/// Status / Expected<T> types defined here, without exceptions, so a single
+/// bad request can never take down a serving process.
+///
+/// Discipline, in one line: DNNF_CHECK for our bugs, Status for theirs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_STATUS_H
+#define DNNFUSION_SUPPORT_STATUS_H
+
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dnnfusion {
+
+/// Machine-inspectable failure category of a Status.
+enum class ErrorCode {
+  Ok = 0,
+  /// A request argument is malformed (arity, shape, dtype, null tensor).
+  InvalidArgument,
+  /// A graph handed to the compile boundary fails validation.
+  InvalidGraph,
+  /// A name lookup (e.g. a named request input) matched nothing.
+  NotFound,
+  /// The call is valid but the receiver cannot serve it in this state.
+  FailedPrecondition,
+  /// Should-never-happen wrapped as a recoverable error at the boundary.
+  Internal,
+};
+
+/// Human-readable name of \p Code ("invalid_argument", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// A success-or-error result: an ErrorCode plus a diagnostic message. No
+/// exceptions are thrown anywhere in this model; a default-constructed
+/// Status is success.
+class Status {
+public:
+  /// Success. (There is no named success factory — `return Status();` —
+  /// because a static ok() cannot coexist with the ok() query below.)
+  Status() = default;
+
+  /// An error of category \p Code with diagnostic \p Message. \p Code must
+  /// not be ErrorCode::Ok.
+  static Status error(ErrorCode Code, std::string Message);
+
+  /// printf-style variant of error().
+  static Status errorf(ErrorCode Code, const char *Fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  bool ok() const { return Code == ErrorCode::Ok; }
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string toString() const;
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Message;
+};
+
+/// A value of type T or the Status explaining why there is none. Implicitly
+/// constructible from either, so API-boundary functions simply `return
+/// Status::errorf(...)` on the error path and `return Value` on success.
+template <typename T> class Expected {
+public:
+  /// Success, holding \p Value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Failure; \p Err must not be ok (checked).
+  Expected(Status Err) : Err(std::move(Err)) {
+    DNNF_CHECK(!this->Err.ok(),
+               "Expected constructed from an ok Status without a value");
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error (an ok Status when a value is held).
+  const Status &status() const { return Err; }
+
+  /// The held value; checked — only call after ok().
+  T &value() & {
+    DNNF_CHECK(ok(), "Expected::value() on error: %s",
+               Err.toString().c_str());
+    return *Value;
+  }
+  const T &value() const & {
+    DNNF_CHECK(ok(), "Expected::value() on error: %s",
+               Err.toString().c_str());
+    return *Value;
+  }
+
+  /// Moves the held value out; checked — only call after ok().
+  T takeValue() {
+    DNNF_CHECK(ok(), "Expected::takeValue() on error: %s",
+               Err.toString().c_str());
+    return std::move(*Value);
+  }
+
+  T &operator*() & { return value(); }
+  const T &operator*() const & { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+/// Unwraps \p E at call sites where failure is a library bug (tests and
+/// benches compiling known-valid graphs): aborts with the carried
+/// diagnostic on error, returns the value otherwise.
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E.ok())
+    reportFatalError("cantFail on error: " + E.status().toString());
+  return E.takeValue();
+}
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_STATUS_H

@@ -10,19 +10,22 @@
 
 using namespace dnnfusion;
 
-std::string dnnfusion::formatString(const char *Fmt, ...) {
-  va_list Args;
-  va_start(Args, Fmt);
+std::string dnnfusion::vformatString(const char *Fmt, va_list Args) {
   va_list Copy;
   va_copy(Copy, Args);
   int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
   va_end(Copy);
-  if (Needed < 0) {
-    va_end(Args);
+  if (Needed < 0)
     return std::string(Fmt);
-  }
   std::string Out(static_cast<size_t>(Needed), '\0');
   std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string dnnfusion::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = vformatString(Fmt, Args);
   va_end(Args);
   return Out;
 }

@@ -13,6 +13,7 @@
 #ifndef DNNFUSION_SUPPORT_STRINGUTILS_H
 #define DNNFUSION_SUPPORT_STRINGUTILS_H
 
+#include <cstdarg>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,11 @@ namespace dnnfusion {
 /// printf-style formatting returning a std::string.
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of formatString, for variadic wrappers (Status::errorf,
+/// reportFatalErrorf). Dynamically sized; falls back to \p Fmt verbatim on
+/// an encoding error.
+std::string vformatString(const char *Fmt, va_list Args);
 
 /// Splits \p S at every occurrence of \p Sep. Empty pieces are kept.
 std::vector<std::string> splitString(const std::string &S, char Sep);

@@ -30,6 +30,7 @@
 
 #include "ops/OpSchema.h"
 #include "runtime/ExecutionContext.h"
+#include "runtime/InferenceSession.h"
 #include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
 
@@ -991,7 +992,7 @@ std::vector<Tensor> runPipeline(const FuzzSpec &Spec,
                                 const CompileOptions &Options,
                                 const std::vector<Tensor> &Inputs,
                                 unsigned Threads = 0) {
-  CompiledModel M = compileModel(buildGraph(Spec), Options);
+  CompiledModel M = cantFail(compileModel(buildGraph(Spec), Options));
   ExecutionOptions Exec;
   if (Threads > 0)
     Exec.Pool = &poolWithThreads(Threads);
@@ -1203,6 +1204,90 @@ std::string fuzzOneSeed(uint64_t Seed, const std::vector<DiffConfig> &Configs,
              static_cast<unsigned long long>(Seed), Report.Config.c_str(),
              Report.Message.c_str(), Spec.numOps(), Minimal.numOps()) +
          toBuilderCode(Minimal);
+}
+
+std::string fuzzMalformedRequests(const FuzzSpec &Spec) {
+  CompiledModel M = cantFail(compileModel(buildGraph(Spec), CompileOptions()));
+  InferenceSession Session(std::move(M));
+  const ModelSignature &Sig = Session.signature();
+  std::vector<Tensor> Valid = specInputs(Spec);
+
+  // Every mutation must be rejected with a clean error Status — never an
+  // abort (an abort kills this test process, which *is* the detector).
+  struct Mutation {
+    std::string Name;
+    std::vector<Tensor> Request;
+  };
+  std::vector<Mutation> Mutations;
+  {
+    Mutation Extra{"extra trailing input", Valid};
+    Extra.Request.push_back(Tensor::zeros(Shape({1})));
+    Mutations.push_back(std::move(Extra));
+  }
+  if (!Valid.empty()) { // Constant-only specs have no inputs to corrupt.
+    Mutation Dropped{"dropped last input", Valid};
+    Dropped.Request.pop_back();
+    Mutations.push_back(std::move(Dropped));
+
+    size_t Victim = static_cast<size_t>(Spec.Seed % Valid.size());
+    Mutation WrongShape{"wrong shape", Valid};
+    std::vector<int64_t> Dims = Valid[Victim].shape().dims();
+    Dims.insert(Dims.begin(), 2);
+    WrongShape.Request[Victim] = Tensor::zeros(Shape(Dims));
+    Mutations.push_back(std::move(WrongShape));
+
+    Mutation WrongDtype{"wrong dtype", Valid};
+    WrongDtype.Request[Victim] =
+        Tensor(Valid[Victim].shape(), DType::Int32);
+    Mutations.push_back(std::move(WrongDtype));
+
+    Mutation Null{"null tensor", Valid};
+    Null.Request[Victim] = Tensor();
+    Mutations.push_back(std::move(Null));
+  }
+  for (const Mutation &Mut : Mutations) {
+    Expected<std::vector<Tensor>> Result = Session.run(Mut.Request);
+    if (Result.ok())
+      return formatString("GraphFuzz seed %llu: malformed request (%s) was "
+                          "accepted instead of rejected",
+                          static_cast<unsigned long long>(Spec.Seed),
+                          Mut.Name.c_str());
+  }
+
+  // Unknown-name dimension of the named-binding overload.
+  std::map<std::string, Tensor> Named;
+  for (size_t I = 0; I < Valid.size(); ++I)
+    Named[Sig.Inputs[I].Name] = Valid[I];
+  Named["no_such_input_name"] = Tensor::zeros(Shape({1}));
+  if (Session.run(Named).ok())
+    return formatString("GraphFuzz seed %llu: unknown-name request was "
+                        "accepted instead of rejected",
+                        static_cast<unsigned long long>(Spec.Seed));
+
+  // The session must remain fully serviceable: rejected requests never
+  // leased a context, and a valid request still succeeds.
+  if (Session.contextsCreated() != 0)
+    return formatString("GraphFuzz seed %llu: rejected requests leaked %u "
+                        "execution contexts",
+                        static_cast<unsigned long long>(Spec.Seed),
+                        Session.contextsCreated());
+  Expected<std::vector<Tensor>> Ok = Session.run(Valid);
+  if (!Ok.ok())
+    return formatString("GraphFuzz seed %llu: valid request rejected after "
+                        "malformed ones: %s",
+                        static_cast<unsigned long long>(Spec.Seed),
+                        Ok.status().toString().c_str());
+  SessionMetrics Metrics = Session.metrics();
+  if (Metrics.RequestsServed != 1 ||
+      Metrics.RequestsRejected != Mutations.size() + 1)
+    return formatString(
+        "GraphFuzz seed %llu: metrics miscount (served %llu, rejected %llu, "
+        "expected 1 / %zu)",
+        static_cast<unsigned long long>(Spec.Seed),
+        static_cast<unsigned long long>(Metrics.RequestsServed),
+        static_cast<unsigned long long>(Metrics.RequestsRejected),
+        Mutations.size() + 1);
+  return "";
 }
 
 } // namespace testutil

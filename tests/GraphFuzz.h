@@ -167,6 +167,15 @@ FuzzSpec shrinkSpec(const FuzzSpec &Spec, const FailPredicate &StillFails);
 std::string fuzzOneSeed(uint64_t Seed, const std::vector<DiffConfig> &Configs,
                         const FuzzConfig &Config = {});
 
+/// The malformed-request dimension: compiles \p Spec, then drives a family
+/// of corrupted requests derived from its valid inputs (wrong arity, wrong
+/// shape, wrong dtype, null tensor, unknown input name) through an
+/// InferenceSession. Every corruption must come back as a clean Status
+/// error — never an abort — without leasing a context, and a subsequent
+/// valid request must still succeed with accurate session metrics.
+/// Returns "" on success, a diagnostic otherwise.
+std::string fuzzMalformedRequests(const FuzzSpec &Spec);
+
 } // namespace testutil
 } // namespace dnnfusion
 

@@ -52,7 +52,7 @@ inline std::vector<Tensor> runReference(const Graph &G,
   Opt.EnableGraphRewriting = false;
   Opt.EnableFusion = false;
   Opt.EnableOtherOpts = false;
-  CompiledModel M = compileModel(G, Opt);
+  CompiledModel M = cantFail(compileModel(G, Opt));
   ExecutionOptions Exec;
   Exec.Mode = ExecutionOptions::Schedule::Sequential;
   ExecutionContext E(M, Exec);
@@ -65,7 +65,7 @@ inline std::vector<Tensor> runReference(const Graph &G,
 inline std::vector<Tensor> runOptimized(const Graph &G,
                                         const std::vector<Tensor> &Inputs,
                                         const CompileOptions &Options = {}) {
-  CompiledModel M = compileModel(G, Options);
+  CompiledModel M = cantFail(compileModel(G, Options));
   ExecutionContext E(M);
   return E.run(Inputs);
 }

@@ -118,7 +118,7 @@ TEST(FixedPattern, PlansExecuteCorrectly) {
     Opt.EnableGraphRewriting = false;
     Opt.EnableFusion = false;
     Opt.EnableOtherOpts = false;
-    CompiledModel M = compileModel(G, Opt);
+    CompiledModel M = cantFail(compileModel(G, Opt));
     // planNoFusion already verified; now check baseline plan semantics by
     // running blocks directly: reuse compileModel path via planFromGroups.
     (void)M;

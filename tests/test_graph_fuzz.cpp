@@ -242,4 +242,22 @@ TEST_P(DifferentialFuzz, OptimizedMatchesReferenceUnderAllConfigs) {
 INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
                          ::testing::Range(0, NumSweepSeeds));
 
+//===----------------------------------------------------------------------===//
+// The malformed-request dimension
+//===----------------------------------------------------------------------===//
+
+/// Every fuzzed model must reject corrupted requests (wrong arity, shape,
+/// dtype, null tensor, unknown name) with a clean Status — an abort here
+/// kills the test binary, which is exactly what this sweep guards against.
+class MalformedRequestFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MalformedRequestFuzz, RequestsAreRejectedNeverAborted) {
+  std::string Report =
+      fuzzMalformedRequests(generateSpec(sweepSeed(GetParam())));
+  EXPECT_TRUE(Report.empty()) << Report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MalformedRequestFuzz,
+                         ::testing::Range(0, 60));
+
 } // namespace

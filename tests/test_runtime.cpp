@@ -28,7 +28,7 @@ Graph smallCnn(uint64_t Seed) {
 
 TEST(ExecutionContext, StatsAreConsistentWithThePlan) {
   Graph G = smallCnn(1);
-  CompiledModel M = compileModel(smallCnn(1), CompileOptions());
+  CompiledModel M = cantFail(compileModel(smallCnn(1), CompileOptions()));
   ExecutionContext E(M);
   std::vector<Tensor> Inputs = randomInputs(M.G, 3);
   ExecutionStats Stats;
@@ -42,7 +42,7 @@ TEST(ExecutionContext, StatsAreConsistentWithThePlan) {
 }
 
 TEST(ExecutionContext, RepeatedRunsAreDeterministic) {
-  CompiledModel M = compileModel(smallCnn(2), CompileOptions());
+  CompiledModel M = cantFail(compileModel(smallCnn(2), CompileOptions()));
   ExecutionContext E(M);
   std::vector<Tensor> Inputs = randomInputs(M.G, 5);
   std::vector<Tensor> A = E.run(Inputs);
@@ -57,8 +57,8 @@ TEST(ExecutionContext, FusionReducesLaunchesTrafficAndFootprint) {
   Unfused.EnableGraphRewriting = false;
   Unfused.EnableFusion = false;
   Unfused.EnableOtherOpts = false;
-  CompiledModel MF = compileModel(smallCnn(3), Fused);
-  CompiledModel MU = compileModel(smallCnn(3), Unfused);
+  CompiledModel MF = cantFail(compileModel(smallCnn(3), Fused));
+  CompiledModel MU = cantFail(compileModel(smallCnn(3), Unfused));
   std::vector<Tensor> Inputs = randomInputs(MU.G, 7);
   ExecutionStats SF, SU;
   ExecutionContext(MF).run(Inputs, &SF);
@@ -70,14 +70,14 @@ TEST(ExecutionContext, FusionReducesLaunchesTrafficAndFootprint) {
 }
 
 TEST(ExecutionContextDeath, WrongInputShapeAborts) {
-  CompiledModel M = compileModel(smallCnn(4), CompileOptions());
+  CompiledModel M = cantFail(compileModel(smallCnn(4), CompileOptions()));
   ExecutionContext E(M);
   std::vector<Tensor> Bad = {Tensor::zeros(Shape({1, 3, 8, 8}))};
   EXPECT_DEATH(E.run(Bad), "does not match");
 }
 
 TEST(MemoryPlanner, LiveBuffersNeverOverlap) {
-  CompiledModel M = compileModel(smallCnn(5), CompileOptions());
+  CompiledModel M = cantFail(compileModel(smallCnn(5), CompileOptions()));
   const MemoryPlan &Mem = M.Memory;
   // Recompute lifetimes and assert allocated intervals are disjoint when
   // their lifetimes intersect.
@@ -125,7 +125,7 @@ TEST(MemoryPlanner, ArenaReusesDeadBuffers) {
   CompileOptions Unfused;
   Unfused.EnableFusion = false;
   Unfused.EnableGraphRewriting = false;
-  CompiledModel M = compileModel(B.take(), Unfused);
+  CompiledModel M = cantFail(compileModel(B.take(), Unfused));
   int64_t Sum = 20 * (1 << 12) * 4;
   EXPECT_LE(M.Memory.ArenaBytes, Sum / 5);
 }
@@ -163,8 +163,8 @@ TEST(CacheSim, FusionReducesSimulatedMisses) {
   Unfused.EnableGraphRewriting = false;
   Unfused.EnableFusion = false;
   Unfused.EnableOtherOpts = false;
-  CompiledModel MF = compileModel(smallCnn(7), Fused);
-  CompiledModel MU = compileModel(smallCnn(7), Unfused);
+  CompiledModel MF = cantFail(compileModel(smallCnn(7), Fused));
+  CompiledModel MU = cantFail(compileModel(smallCnn(7), Unfused));
   CacheSim CF(mobileCpuCacheConfig()), CU(mobileCpuCacheConfig());
   simulateModelTraffic(MF, CF);
   simulateModelTraffic(MU, CU);
@@ -178,8 +178,8 @@ TEST(DeviceModel, FusionImprovesModeledLatencyAndUtilization) {
   Unfused.EnableGraphRewriting = false;
   Unfused.EnableFusion = false;
   Unfused.EnableOtherOpts = false;
-  CompiledModel MF = compileModel(smallCnn(8), Fused);
-  CompiledModel MU = compileModel(smallCnn(8), Unfused);
+  CompiledModel MF = cantFail(compileModel(smallCnn(8), Fused));
+  CompiledModel MU = cantFail(compileModel(smallCnn(8), Unfused));
   for (const DeviceProfile &D : allDeviceProfiles()) {
     EXPECT_LT(modelLatencyMs(MF, D), modelLatencyMs(MU, D)) << D.Name;
     EXPECT_GE(modelUtilizationPercent(MF, D),
@@ -190,7 +190,7 @@ TEST(DeviceModel, FusionImprovesModeledLatencyAndUtilization) {
 }
 
 TEST(DeviceModel, OlderDevicesAreSlower) {
-  CompiledModel M = compileModel(smallCnn(9), CompileOptions());
+  CompiledModel M = cantFail(compileModel(smallCnn(9), CompileOptions()));
   EXPECT_LT(modelLatencyMs(M, snapdragon865Cpu()),
             modelLatencyMs(M, snapdragon855Cpu()));
   EXPECT_LT(modelLatencyMs(M, snapdragon855Cpu()),
@@ -220,9 +220,9 @@ TEST(ModelCompiler, OptionTogglesChangeThePlan) {
   CompileOptions Full, NoFuse, NoRewrite;
   NoFuse.EnableFusion = false;
   NoRewrite.EnableGraphRewriting = false;
-  CompiledModel A = compileModel(smallCnn(11), Full);
-  CompiledModel B = compileModel(smallCnn(11), NoFuse);
-  CompiledModel C = compileModel(smallCnn(11), NoRewrite);
+  CompiledModel A = cantFail(compileModel(smallCnn(11), Full));
+  CompiledModel B = cantFail(compileModel(smallCnn(11), NoFuse));
+  CompiledModel C = cantFail(compileModel(smallCnn(11), NoRewrite));
   EXPECT_LT(A.kernelLaunches(), B.kernelLaunches());
   // Rewriting folds Conv+BatchNorm, shrinking the layer count.
   EXPECT_LT(A.G.countLayers(), C.G.countLayers());

@@ -3,6 +3,7 @@
 #include "support/Error.h"
 #include "support/KeyValueFile.h"
 #include "support/Rng.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
@@ -497,6 +498,109 @@ TEST(KeyValueFileDeath, MalformedLineAborts) {
   std::map<std::string, std::string> Out;
   EXPECT_DEATH(loadKeyValueFile(Path, Out), "malformed line");
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Status / Expected: the recoverable error model
+//===----------------------------------------------------------------------===//
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Ok);
+  EXPECT_TRUE(S.message().empty());
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(ErrorCode::InvalidGraph, "bad wiring");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::InvalidGraph);
+  EXPECT_EQ(S.message(), "bad wiring");
+  EXPECT_EQ(S.toString(), "invalid_graph: bad wiring");
+}
+
+TEST(Status, ErrorfFormats) {
+  Status S = Status::errorf(ErrorCode::NotFound, "input '%s' (%d of %d)",
+                            "image", 1, 3);
+  EXPECT_EQ(S.message(), "input 'image' (1 of 3)");
+}
+
+TEST(Status, EveryErrorCodeHasAName) {
+  for (ErrorCode C :
+       {ErrorCode::Ok, ErrorCode::InvalidArgument, ErrorCode::InvalidGraph,
+        ErrorCode::NotFound, ErrorCode::FailedPrecondition,
+        ErrorCode::Internal})
+    EXPECT_STRNE(errorCodeName(C), "?");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> E = 42;
+  ASSERT_TRUE(E.ok());
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.value(), 42);
+  EXPECT_EQ(*E, 42);
+  EXPECT_TRUE(E.status().ok());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> E = Status::error(ErrorCode::InvalidArgument, "nope");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+TEST(Expected, TakeValueMovesOut) {
+  Expected<std::vector<int>> E = std::vector<int>{1, 2, 3};
+  std::vector<int> V = E.takeValue();
+  EXPECT_EQ(V, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Expected, ArrowOperatorReachesMembers) {
+  Expected<std::string> E = std::string("abc");
+  EXPECT_EQ(E->size(), 3u);
+}
+
+TEST(Expected, CantFailUnwraps) {
+  EXPECT_EQ(cantFail(Expected<int>(7)), 7);
+}
+
+TEST(ExpectedDeath, ValueOnErrorAborts) {
+  Expected<int> E = Status::error(ErrorCode::Internal, "boom");
+  EXPECT_DEATH(E.value(), "boom");
+}
+
+TEST(ExpectedDeath, CantFailOnErrorAborts) {
+  EXPECT_DEATH(cantFail(Expected<int>(
+                   Status::error(ErrorCode::Internal, "kaboom"))),
+               "kaboom");
+}
+
+TEST(ExpectedDeath, ErrorExpectedFromOkStatusAborts) {
+  Status Ok;
+  EXPECT_DEATH(Expected<int>{Ok}, "without a value");
+}
+
+TEST(ScopedFatalErrorTrap, ConvertsFatalErrorsToExceptionsInScope) {
+  EXPECT_FALSE(ScopedFatalErrorTrap::active());
+  bool Caught = false;
+  try {
+    ScopedFatalErrorTrap Trap;
+    EXPECT_TRUE(ScopedFatalErrorTrap::active());
+    DNNF_CHECK(false, "trapped %d", 7);
+  } catch (const detail::TrappedFatalError &E) {
+    Caught = true;
+    EXPECT_NE(E.Message.find("trapped 7"), std::string::npos) << E.Message;
+  }
+  EXPECT_TRUE(Caught);
+  EXPECT_FALSE(ScopedFatalErrorTrap::active());
+}
+
+TEST(ScopedFatalErrorTrapDeath, OutsideScopeStillAborts) {
+  {
+    ScopedFatalErrorTrap Trap;
+  }
+  EXPECT_DEATH(reportFatalError("still fatal"), "still fatal");
 }
 
 } // namespace

@@ -9,9 +9,9 @@
 
 #include "TestUtils.h"
 
-#include "graph/GraphBuilder.h"
 #include "models/ModelZoo.h"
-#include "runtime/InferenceSession.h"
+
+#include <dnnfusion/dnnfusion.h>
 
 #include <gtest/gtest.h>
 
@@ -46,7 +46,7 @@ ExecutionOptions sequentialExec() {
 TEST(BlockSchedule, LevelsPartitionBlocksAndEdgesIncreaseLevels) {
   for (uint64_t Seed : {1ull, 2ull, 3ull}) {
     FuzzSpec Spec = generateSpec(Seed);
-    CompiledModel M = compileModel(buildGraph(Spec), CompileOptions());
+    CompiledModel M = cantFail(compileModel(buildGraph(Spec), CompileOptions()));
     M.Schedule.verify(M.Plan);
     EXPECT_GE(M.Schedule.numLevels(), 1);
     EXPECT_LE(M.Schedule.numLevels(),
@@ -60,7 +60,7 @@ TEST(BlockSchedule, ChainHasOneBlockPerLevel) {
   for (int I = 0; I < 4; ++I)
     H = B.unary(OpKind::Relu, B.op(OpKind::MatMul, {H, B.weight(Shape({64, 64}))}));
   B.markOutput(H);
-  CompiledModel M = compileModel(B.take(), CompileOptions());
+  CompiledModel M = cantFail(compileModel(B.take(), CompileOptions()));
   // A pure chain admits no inter-block parallelism.
   EXPECT_EQ(M.Schedule.maxWidth(), 1);
   EXPECT_EQ(M.Schedule.numLevels(),
@@ -79,7 +79,7 @@ TEST(BlockSchedule, IndependentBranchesShareALevel) {
   B.markOutput(B.sigmoid(B.conv(X, 4, {3, 3}, {1, 1}, {1, 1})));
   CompileOptions Opt;
   Opt.EnableGraphRewriting = false;
-  CompiledModel M = compileModel(B.take(), Opt);
+  CompiledModel M = cantFail(compileModel(B.take(), Opt));
   M.Schedule.verify(M.Plan);
   EXPECT_GE(M.Schedule.maxWidth(), 2) << M.Plan.toString(M.G);
   // Source blocks have no predecessors; level 0 holds all of them.
@@ -89,7 +89,7 @@ TEST(BlockSchedule, IndependentBranchesShareALevel) {
 
 TEST(BlockSchedule, WholeZooSchedulesVerify) {
   for (const ModelZooEntry &E : modelZoo()) {
-    CompiledModel M = compileModel(E.Build(), CompileOptions());
+    CompiledModel M = cantFail(compileModel(E.Build(), CompileOptions()));
     M.Schedule.verify(M.Plan);
     EXPECT_GE(M.Schedule.maxWidth(), 1) << E.Info.Name;
   }
@@ -104,7 +104,7 @@ TEST(MemoryPlanner, SameLevelBuffersNeverAlias) {
   // buffer still live into that level) must occupy disjoint arena ranges.
   for (uint64_t Seed : {11ull, 12ull, 13ull, 14ull}) {
     FuzzSpec Spec = generateSpec(Seed);
-    CompiledModel M = compileModel(buildGraph(Spec), CompileOptions());
+    CompiledModel M = cantFail(compileModel(buildGraph(Spec), CompileOptions()));
     ASSERT_TRUE(M.Memory.WavefrontSafe);
     size_t N = static_cast<size_t>(M.G.numNodes());
     // Level-granular lifetime per arena buffer.
@@ -148,8 +148,8 @@ TEST(MemoryPlanner, SequentialOnlyModeKeepsTighterOrEqualArena) {
   SequentialOnly.WavefrontSafeMemory = false;
   for (uint64_t Seed : {21ull, 22ull}) {
     FuzzSpec Spec = generateSpec(Seed);
-    CompiledModel MW = compileModel(buildGraph(Spec), Wavefront);
-    CompiledModel MS = compileModel(buildGraph(Spec), SequentialOnly);
+    CompiledModel MW = cantFail(compileModel(buildGraph(Spec), Wavefront));
+    CompiledModel MS = cantFail(compileModel(buildGraph(Spec), SequentialOnly));
     EXPECT_TRUE(MW.Memory.WavefrontSafe);
     EXPECT_FALSE(MS.Memory.WavefrontSafe);
     // Widening lifetimes can only grow the footprint.
@@ -160,12 +160,12 @@ TEST(MemoryPlanner, SequentialOnlyModeKeepsTighterOrEqualArena) {
 TEST(ExecutionContext, SequentialOnlyModelFallsBackFromWavefront) {
   CompileOptions Opt;
   Opt.WavefrontSafeMemory = false;
-  CompiledModel M = compileModel(diamondGraph(3), Opt);
+  CompiledModel M = cantFail(compileModel(diamondGraph(3), Opt));
   ExecutionContext Wave(M); // Requests wavefront...
   EXPECT_FALSE(Wave.usesWavefront()); // ...but the plan cannot support it.
   std::vector<Tensor> Inputs = randomInputs(M.G, 5);
   std::vector<Tensor> A = Wave.run(Inputs);
-  CompiledModel MW = compileModel(diamondGraph(3), CompileOptions());
+  CompiledModel MW = cantFail(compileModel(diamondGraph(3), CompileOptions()));
   std::vector<Tensor> B = ExecutionContext(MW).run(Inputs);
   ASSERT_EQ(A.size(), B.size());
   for (size_t I = 0; I < A.size(); ++I)
@@ -178,7 +178,7 @@ TEST(ExecutionContext, SequentialOnlyModelFallsBackFromWavefront) {
 
 TEST(Wavefront, BitIdenticalToSequentialOnWholeZoo) {
   for (const ModelZooEntry &E : modelZoo()) {
-    CompiledModel M = compileModel(E.Build(), CompileOptions());
+    CompiledModel M = cantFail(compileModel(E.Build(), CompileOptions()));
     std::vector<Tensor> Inputs = randomInputs(M.G, 17);
     ExecutionContext Seq(M, sequentialExec());
     ExecutionContext Wave(M);
@@ -194,7 +194,7 @@ TEST(Wavefront, BitIdenticalToSequentialOnWholeZoo) {
 
 TEST(Wavefront, BitIdenticalAcrossPoolSizes) {
   ThreadPool One(1), Eight(8);
-  CompiledModel M = compileModel(diamondGraph(4), CompileOptions());
+  CompiledModel M = cantFail(compileModel(diamondGraph(4), CompileOptions()));
   std::vector<Tensor> Inputs = randomInputs(M.G, 23);
   ExecutionOptions E1, E8;
   E1.Pool = &One;
@@ -207,7 +207,7 @@ TEST(Wavefront, BitIdenticalAcrossPoolSizes) {
 }
 
 TEST(Wavefront, StatsAreIdenticalToSequential) {
-  CompiledModel M = compileModel(buildEfficientNetB0(), CompileOptions());
+  CompiledModel M = cantFail(compileModel(buildEfficientNetB0(), CompileOptions()));
   std::vector<Tensor> Inputs = randomInputs(M.G, 29);
   ExecutionStats SeqStats, WaveStats;
   ExecutionContext(M, sequentialExec()).run(Inputs, &SeqStats);
@@ -223,7 +223,7 @@ TEST(Wavefront, StatsAreIdenticalToSequential) {
 }
 
 TEST(Wavefront, ContextIsReusableAcrossRuns) {
-  CompiledModel M = compileModel(diamondGraph(5), CompileOptions());
+  CompiledModel M = cantFail(compileModel(diamondGraph(5), CompileOptions()));
   ExecutionContext Ctx(M);
   std::vector<Tensor> Inputs = randomInputs(M.G, 31);
   std::vector<Tensor> A = Ctx.run(Inputs);
@@ -238,9 +238,9 @@ TEST(Wavefront, ContextIsReusableAcrossRuns) {
 
 TEST(InferenceSession, ServesConcurrentClientsCorrectly) {
   InferenceSession Session(
-      compileModel(buildEfficientNetB0(), CompileOptions()));
+      cantFail(compileModel(buildEfficientNetB0(), CompileOptions())));
   std::vector<Tensor> Inputs = randomInputs(Session.model().G, 37);
-  std::vector<Tensor> Expected = Session.run(Inputs);
+  std::vector<Tensor> Golden = cantFail(Session.run(Inputs));
 
   // >= 4 genuinely simultaneous run() calls on one compiled model, each
   // from its own client thread, repeated to churn the context pool.
@@ -250,13 +250,13 @@ TEST(InferenceSession, ServesConcurrentClientsCorrectly) {
   for (int C = 0; C < Clients; ++C)
     Threads.emplace_back([&] {
       for (int R = 0; R < Rounds; ++R) {
-        std::vector<Tensor> Out = Session.run(Inputs);
-        if (Out.size() != Expected.size()) {
+        std::vector<Tensor> Out = cantFail(Session.run(Inputs));
+        if (Out.size() != Golden.size()) {
           ++Mismatches;
           continue;
         }
         for (size_t I = 0; I < Out.size(); ++I)
-          if (maxAbsDiff(Out[I], Expected[I]) != 0.0f)
+          if (maxAbsDiff(Out[I], Golden[I]) != 0.0f)
             ++Mismatches;
       }
     });
@@ -268,14 +268,14 @@ TEST(InferenceSession, ServesConcurrentClientsCorrectly) {
 }
 
 TEST(InferenceSession, RunBatchMatchesIndividualRuns) {
-  InferenceSession Session(compileModel(diamondGraph(6), CompileOptions()));
+  InferenceSession Session(cantFail(compileModel(diamondGraph(6), CompileOptions())));
   std::vector<std::vector<Tensor>> Batch;
   for (uint64_t Seed = 0; Seed < 6; ++Seed)
     Batch.push_back(randomInputs(Session.model().G, 41 + Seed));
-  std::vector<std::vector<Tensor>> Results = Session.runBatch(Batch);
+  std::vector<std::vector<Tensor>> Results = cantFail(Session.runBatch(Batch));
   ASSERT_EQ(Results.size(), Batch.size());
   for (size_t R = 0; R < Batch.size(); ++R) {
-    std::vector<Tensor> Solo = Session.run(Batch[R]);
+    std::vector<Tensor> Solo = cantFail(Session.run(Batch[R]));
     ASSERT_EQ(Results[R].size(), Solo.size());
     for (size_t I = 0; I < Solo.size(); ++I)
       EXPECT_EQ(maxAbsDiff(Results[R][I], Solo[I]), 0.0f)
@@ -286,7 +286,7 @@ TEST(InferenceSession, RunBatchMatchesIndividualRuns) {
 TEST(InferenceSession, MaxContextsCapsPoolGrowth) {
   SessionOptions Opts;
   Opts.MaxContexts = 2;
-  InferenceSession Session(compileModel(diamondGraph(7), CompileOptions()),
+  InferenceSession Session(cantFail(compileModel(diamondGraph(7), CompileOptions())),
                            Opts);
   std::vector<Tensor> Inputs = randomInputs(Session.model().G, 43);
   const int Clients = 6;
@@ -294,7 +294,7 @@ TEST(InferenceSession, MaxContextsCapsPoolGrowth) {
   for (int C = 0; C < Clients; ++C)
     Threads.emplace_back([&] {
       for (int R = 0; R < 4; ++R)
-        Session.run(Inputs);
+        cantFail(Session.run(Inputs));
     });
   for (std::thread &T : Threads)
     T.join();
@@ -304,17 +304,17 @@ TEST(InferenceSession, MaxContextsCapsPoolGrowth) {
 TEST(InferenceSession, SequentialModeSessionsAlsoServeConcurrently) {
   SessionOptions Opts;
   Opts.Exec.Mode = ExecutionOptions::Schedule::Sequential;
-  InferenceSession Session(compileModel(diamondGraph(8), CompileOptions()),
+  InferenceSession Session(cantFail(compileModel(diamondGraph(8), CompileOptions())),
                            Opts);
   std::vector<Tensor> Inputs = randomInputs(Session.model().G, 47);
-  std::vector<Tensor> Expected = Session.run(Inputs);
+  std::vector<Tensor> Golden = cantFail(Session.run(Inputs));
   std::atomic<int> Mismatches{0};
   std::vector<std::thread> Threads;
   for (int C = 0; C < 4; ++C)
     Threads.emplace_back([&] {
-      std::vector<Tensor> Out = Session.run(Inputs);
+      std::vector<Tensor> Out = cantFail(Session.run(Inputs));
       for (size_t I = 0; I < Out.size(); ++I)
-        if (maxAbsDiff(Out[I], Expected[I]) != 0.0f)
+        if (maxAbsDiff(Out[I], Golden[I]) != 0.0f)
           ++Mismatches;
     });
   for (std::thread &T : Threads)

@@ -26,7 +26,7 @@ protected:
 };
 
 TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
-  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  CompiledModel M = cantFail(compileModel(entry().Build(), CompileOptions()));
   M.Plan.verify(M.G);
   EXPECT_LT(M.Plan.fusedLayerCount(), M.G.countLayers()) << entry().Info.Name;
 
@@ -50,7 +50,7 @@ TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
 }
 
 TEST_P(ZooInvariants, CompiledBlocksHaveConsistentSlots) {
-  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  CompiledModel M = cantFail(compileModel(entry().Build(), CompileOptions()));
   for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
     const CompiledBlock &CB = M.Blocks[BI];
     int NumSlots = CB.numSlots();
@@ -78,7 +78,7 @@ TEST_P(ZooInvariants, CompiledBlocksHaveConsistentSlots) {
 }
 
 TEST_P(ZooInvariants, MemoryPlanCoversEveryBlockOutput) {
-  CompiledModel M = compileModel(entry().Build(), CompileOptions());
+  CompiledModel M = cantFail(compileModel(entry().Build(), CompileOptions()));
   for (const FusionBlock &B : M.Plan.Blocks)
     for (NodeId Out : B.Outputs)
       EXPECT_GE(M.Memory.ArenaOffsetOfNode[static_cast<size_t>(Out)], 0);
