@@ -3,9 +3,11 @@
 // The five-minute tour, written entirely against the stable public facade
 // (<dnnfusion/dnnfusion.h>): build a small graph with GraphBuilder, compile
 // it with the full DNNFusion pipeline, inspect the typed model signature,
-// and serve requests through an InferenceSession — with every fallible step
-// checked through the Expected error model (a malformed graph or request
-// comes back as a Status, never an abort).
+// serve requests through an InferenceSession, and persist the compiled
+// model with saveModel/loadModel (bit-identical execution from disk) —
+// with every fallible step checked through the Expected error model (a
+// malformed graph, request, or artifact comes back as a Status, never an
+// abort).
 //
 //   $ ./quickstart
 //
@@ -16,6 +18,9 @@
 #include "tensor/TensorUtils.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
 
 using namespace dnnfusion;
 
@@ -113,5 +118,39 @@ int main() {
               static_cast<double>(S2.MainBytesRead + S2.MainBytesWritten) /
                   1024.0,
               Agree ? "yes" : "NO");
-  return Agree ? 0 : 1;
+  if (!Agree)
+    return 1;
+
+  // 5. Persist the compiled model and serve it from disk: saveModel writes
+  //    one versioned artifact (graph + fusion plan + schedule + memory
+  //    plan), loadModel restores it without re-running planning, and the
+  //    loaded model is bit-identical in execution. (For transparent warm
+  //    starts, set CompileOptions::CacheDir instead and compileModel does
+  //    this keyed on content hash — see examples/save_load_roundtrip.cpp.)
+  std::string ArtifactPath =
+      "/tmp/dnnf_quickstart_" + std::to_string(getpid()) + ".dnnf";
+  if (Status S = saveModel(Session.model(), ArtifactPath); !S.ok()) {
+    std::fprintf(stderr, "saveModel failed: %s\n", S.toString().c_str());
+    return 1;
+  }
+  Expected<CompiledModel> Reloaded = loadModel(ArtifactPath);
+  std::remove(ArtifactPath.c_str());
+  if (!Reloaded.ok()) {
+    std::fprintf(stderr, "loadModel failed: %s\n",
+                 Reloaded.status().toString().c_str());
+    return 1;
+  }
+  InferenceSession FromDisk(Reloaded.takeValue());
+  Expected<std::vector<Tensor>> DiskOut = FromDisk.run({{"image", Image}});
+  if (!DiskOut.ok()) {
+    std::fprintf(stderr, "inference on the reloaded model failed: %s\n",
+                 DiskOut.status().toString().c_str());
+    return 1;
+  }
+  bool BitIdentical =
+      std::memcmp((*Outputs)[0].data(), (*DiskOut)[0].data(),
+                  (*Outputs)[0].byteSize()) == 0;
+  std::printf("save -> load -> run: outputs bit-identical: %s\n",
+              BitIdentical ? "yes" : "NO");
+  return BitIdentical ? 0 : 1;
 }

@@ -31,12 +31,22 @@
 ///   - ModelSignature, TensorSpec              — the typed calling convention
 ///   - InferenceSession, SessionOptions,
 ///     SessionMetrics, ExecutionStats          — serving
+///   - saveModel / loadModel,
+///     saveGraph / loadGraph,
+///     CompileOptions::CacheDir                — persistence (docs/FORMAT.md)
 ///   - Status, ErrorCode, Expected<T>          — the recoverable error model
 ///
+/// Persistence: saveModel writes a compiled model (graph + fusion plan +
+/// schedule + memory plan) as one versioned artifact that loadModel
+/// restores without re-running planning, with bit-identical execution.
+/// Setting CompileOptions::CacheDir makes compileModel do this
+/// transparently, keyed on content hash — warm process starts skip the
+/// planning cost entirely.
+///
 /// Error discipline: user-supplied bad input — a malformed graph at the
-/// compile boundary, a bad inference request — comes back as a
-/// Status/Expected error. Aborts (DNNF_CHECK) are reserved for internal
-/// invariant violations, i.e. library bugs.
+/// compile boundary, a bad inference request, a corrupted artifact file —
+/// comes back as a Status/Expected error. Aborts (DNNF_CHECK) are
+/// reserved for internal invariant violations, i.e. library bugs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +58,8 @@
 #include "runtime/InferenceSession.h"
 #include "runtime/ModelCompiler.h"
 #include "runtime/ModelSignature.h"
+#include "serialize/GraphSerializer.h"
+#include "serialize/ModelSerializer.h"
 #include "support/Status.h"
 #include "tensor/Tensor.h"
 

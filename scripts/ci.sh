@@ -6,6 +6,10 @@
 #   ./scripts/ci.sh Debug      # one configuration
 #   ./scripts/ci.sh tsan       # ThreadSanitizer build, smoke subset only
 #                              # (guards the wavefront/serving concurrency)
+#   ./scripts/ci.sh cache      # compilation-cache smoke: the roundtrip
+#                              # example twice against one CacheDir (the
+#                              # second process must hit), then the fig9b
+#                              # cold/warm sweep into BENCH_fig9b.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +34,26 @@ for CONFIG in "${CONFIGS[@]}"; do
     cmake --build "$BUILD_DIR" -j "$JOBS"
     echo "=== [tsan] smoke tests under ThreadSanitizer ==="
     ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+    continue
+  fi
+  if [ "$CONFIG" = "cache" ]; then
+    BUILD_DIR="build-ci-cache"
+    echo "=== [cache] configure ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DDNNFUSION_BUILD_TESTS=OFF -DDNNFUSION_BUILD_BENCH=ON \
+          -DDNNFUSION_BUILD_EXAMPLES=ON
+    echo "=== [cache] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS" \
+          --target example_save_load_roundtrip bench_fig9b_compilation_time
+    CACHE_DIR="$(mktemp -d)"
+    echo "=== [cache] cold process (populates $CACHE_DIR) ==="
+    "$BUILD_DIR/example_save_load_roundtrip" --cache-dir "$CACHE_DIR"
+    echo "=== [cache] warm process (must hit the cache) ==="
+    "$BUILD_DIR/example_save_load_roundtrip" --cache-dir "$CACHE_DIR" \
+        --expect-cache-hit
+    rm -rf "$CACHE_DIR"
+    echo "=== [cache] fig9b cold/warm sweep ==="
+    "$BUILD_DIR/bench_fig9b_compilation_time" --json BENCH_fig9b.json
     continue
   fi
   BUILD_DIR="build-ci-${CONFIG,,}"

@@ -250,25 +250,85 @@ struct Planner {
   }
 };
 
-/// Builds a verified FusionPlan from raw member groups (+ optional
-/// per-group seed/type metadata).
-FusionPlan finalizePlan(const Graph &G,
-                        std::vector<std::vector<NodeId>> Groups,
-                        std::vector<NodeId> Seeds) {
+/// Group index per node id (-1 = in no group) — the node->block map both
+/// the ordering step and the assembly step key on.
+std::vector<int> blockOfTable(const Graph &G,
+                              const std::vector<std::vector<NodeId>> &Groups) {
+  std::vector<int> BlockOf(static_cast<size_t>(G.numNodes()), -1);
+  for (size_t BI = 0; BI < Groups.size(); ++BI)
+    for (NodeId Id : Groups[BI])
+      BlockOf[static_cast<size_t>(Id)] = static_cast<int>(BI);
+  return BlockOf;
+}
+
+/// Shared tail of plan construction: sorts each group's members
+/// topologically, derives the per-block metadata (FusedType,
+/// ExternalInputs, Outputs, BlockOfNode), and verifies the result. The
+/// given group order IS the block execution order — callers either
+/// computed a valid order (finalizePlan) or are handing in a persisted one
+/// (planFromOrderedGroups), and verify() rejects a wrong one.
+FusionPlan assembleOrderedPlan(const Graph &G,
+                               std::vector<std::vector<NodeId>> Groups,
+                               std::vector<NodeId> Seeds) {
   // Topological position of every node.
   std::vector<int> Pos(static_cast<size_t>(G.numNodes()), -1);
   std::vector<NodeId> Order = G.topologicalOrder();
   for (size_t I = 0; I < Order.size(); ++I)
     Pos[static_cast<size_t>(Order[I])] = static_cast<int>(I);
 
-  std::vector<int> BlockOf(static_cast<size_t>(G.numNodes()), -1);
-  for (size_t BI = 0; BI < Groups.size(); ++BI) {
-    std::sort(Groups[BI].begin(), Groups[BI].end(), [&](NodeId A, NodeId B) {
+  std::vector<int> BlockOf = blockOfTable(G, Groups);
+  for (std::vector<NodeId> &Group : Groups)
+    std::sort(Group.begin(), Group.end(), [&](NodeId A, NodeId B) {
       return Pos[static_cast<size_t>(A)] < Pos[static_cast<size_t>(B)];
     });
-    for (NodeId Id : Groups[BI])
-      BlockOf[static_cast<size_t>(Id)] = static_cast<int>(BI);
+
+  // Assemble the plan in the given order.
+  std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+  const std::vector<NodeId> &GraphOuts = G.outputs();
+  FusionPlan Plan;
+  Plan.BlockOfNode.assign(static_cast<size_t>(G.numNodes()), -1);
+  for (size_t GI = 0; GI < Groups.size(); ++GI) {
+    int OldIndex = static_cast<int>(GI);
+    FusionBlock B;
+    B.Members = std::move(Groups[GI]);
+    B.Seed = Seeds.empty() ? InvalidNodeId : Seeds[GI];
+    // Fused mapping type: fold members in topological order (Table 3).
+    bool First = true;
+    for (NodeId Id : B.Members) {
+      const Node &N = G.node(Id);
+      MappingType MT = mappingType(N.Kind, N.Attrs, G.inputShapes(Id));
+      B.FusedType = First ? MT : fusedMappingType(B.FusedType, MT);
+      First = false;
+    }
+    for (NodeId Id : B.Members) {
+      for (NodeId In : G.node(Id).Inputs)
+        if (BlockOf[static_cast<size_t>(In)] != OldIndex &&
+            std::find(B.ExternalInputs.begin(), B.ExternalInputs.end(), In) ==
+                B.ExternalInputs.end())
+          B.ExternalInputs.push_back(In);
+      bool Escapes =
+          std::find(GraphOuts.begin(), GraphOuts.end(), Id) != GraphOuts.end();
+      for (NodeId User : Consumers[static_cast<size_t>(Id)])
+        Escapes |= BlockOf[static_cast<size_t>(User)] != OldIndex;
+      if (Escapes)
+        B.Outputs.push_back(Id);
+    }
+    for (NodeId Id : B.Members)
+      Plan.BlockOfNode[static_cast<size_t>(Id)] =
+          static_cast<int>(Plan.Blocks.size());
+    Plan.Blocks.push_back(std::move(B));
   }
+  Plan.verify(G);
+  return Plan;
+}
+
+/// Builds a verified FusionPlan from raw member groups (+ optional
+/// per-group seed/type metadata), computing a valid block execution order
+/// first.
+FusionPlan finalizePlan(const Graph &G,
+                        std::vector<std::vector<NodeId>> Groups,
+                        std::vector<NodeId> Seeds) {
+  std::vector<int> BlockOf = blockOfTable(G, Groups);
 
   // Order blocks topologically (Kahn over the block DAG).
   size_t NumBlocks = Groups.size();
@@ -301,44 +361,16 @@ FusionPlan finalizePlan(const Graph &G,
              "fusion blocks form a cycle (%zu of %zu ordered)",
              BlockOrder.size(), NumBlocks);
 
-  // Assemble the plan in execution order.
-  std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
-  const std::vector<NodeId> &GraphOuts = G.outputs();
-  FusionPlan Plan;
-  Plan.BlockOfNode.assign(static_cast<size_t>(G.numNodes()), -1);
+  std::vector<std::vector<NodeId>> OrderedGroups;
+  std::vector<NodeId> OrderedSeeds;
+  OrderedGroups.reserve(NumBlocks);
   for (int OldIndex : BlockOrder) {
-    FusionBlock B;
-    B.Members = std::move(Groups[static_cast<size_t>(OldIndex)]);
-    B.Seed = Seeds.empty() ? InvalidNodeId
-                           : Seeds[static_cast<size_t>(OldIndex)];
-    // Fused mapping type: fold members in topological order (Table 3).
-    bool First = true;
-    for (NodeId Id : B.Members) {
-      const Node &N = G.node(Id);
-      MappingType MT = mappingType(N.Kind, N.Attrs, G.inputShapes(Id));
-      B.FusedType = First ? MT : fusedMappingType(B.FusedType, MT);
-      First = false;
-    }
-    for (NodeId Id : B.Members) {
-      for (NodeId In : G.node(Id).Inputs)
-        if (BlockOf[static_cast<size_t>(In)] != OldIndex &&
-            std::find(B.ExternalInputs.begin(), B.ExternalInputs.end(), In) ==
-                B.ExternalInputs.end())
-          B.ExternalInputs.push_back(In);
-      bool Escapes =
-          std::find(GraphOuts.begin(), GraphOuts.end(), Id) != GraphOuts.end();
-      for (NodeId User : Consumers[static_cast<size_t>(Id)])
-        Escapes |= BlockOf[static_cast<size_t>(User)] != OldIndex;
-      if (Escapes)
-        B.Outputs.push_back(Id);
-    }
-    for (NodeId Id : B.Members)
-      Plan.BlockOfNode[static_cast<size_t>(Id)] =
-          static_cast<int>(Plan.Blocks.size());
-    Plan.Blocks.push_back(std::move(B));
+    OrderedGroups.push_back(std::move(Groups[static_cast<size_t>(OldIndex)]));
+    if (!Seeds.empty())
+      OrderedSeeds.push_back(Seeds[static_cast<size_t>(OldIndex)]);
   }
-  Plan.verify(G);
-  return Plan;
+  return assembleOrderedPlan(G, std::move(OrderedGroups),
+                             std::move(OrderedSeeds));
 }
 
 } // namespace
@@ -407,4 +439,25 @@ FusionPlan dnnfusion::planNoFusion(const Graph &G) {
 FusionPlan dnnfusion::planFromGroups(
     const Graph &G, const std::vector<std::vector<NodeId>> &Groups) {
   return finalizePlan(G, Groups, {});
+}
+
+FusionPlan dnnfusion::planFromOrderedGroups(
+    const Graph &G, std::vector<std::vector<NodeId>> Groups,
+    std::vector<NodeId> Seeds) {
+  // Range-check before assembly indexes per-node tables; everything
+  // semantic (liveness, partition, block order) is caught by the
+  // verify() inside assembleOrderedPlan. All diagnostics are DNNF_CHECKs,
+  // so a caller decoding an untrusted plan runs this under a
+  // ScopedFatalErrorTrap.
+  DNNF_CHECK(Seeds.empty() || Seeds.size() == Groups.size(),
+             "seed list covers %zu of %zu groups", Seeds.size(),
+             Groups.size());
+  for (const std::vector<NodeId> &Group : Groups)
+    for (NodeId Id : Group)
+      DNNF_CHECK(Id >= 0 && Id < G.numNodes(),
+                 "plan group references node %d outside the graph", Id);
+  for (NodeId Seed : Seeds)
+    DNNF_CHECK(Seed >= InvalidNodeId && Seed < G.numNodes(),
+               "plan seed %d outside the graph", Seed);
+  return assembleOrderedPlan(G, std::move(Groups), std::move(Seeds));
 }

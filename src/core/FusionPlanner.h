@@ -73,6 +73,20 @@ FusionPlan planNoFusion(const Graph &G);
 FusionPlan planFromGroups(const Graph &G,
                           const std::vector<std::vector<NodeId>> &Groups);
 
+/// Like planFromGroups, but preserves the given group order as the block
+/// execution order instead of recomputing one — the reconstruction path
+/// for persisted plans, where the serialized order must survive verbatim
+/// (the schedule and memory plan of a saved artifact are keyed on it).
+/// The derived per-block metadata (FusedType, ExternalInputs, Outputs,
+/// BlockOfNode) is recomputed from the members, so a plan file cannot
+/// inject inconsistent metadata. Every violation — id out of range, bad
+/// partition, order breaking a dependency — aborts via DNNF_CHECK; a
+/// caller handing in untrusted groups runs this under a
+/// ScopedFatalErrorTrap and converts the diagnostic to a Status.
+FusionPlan planFromOrderedGroups(const Graph &G,
+                                 std::vector<std::vector<NodeId>> Groups,
+                                 std::vector<NodeId> Seeds = {});
+
 } // namespace dnnfusion
 
 #endif // DNNFUSION_CORE_FUSIONPLANNER_H

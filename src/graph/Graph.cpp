@@ -172,6 +172,39 @@ void Graph::eraseDeadNodes() {
       N.Dead = true;
 }
 
+Expected<Graph> Graph::fromParts(std::vector<Node> Nodes,
+                                 std::vector<NodeId> Outputs) {
+  Graph G;
+  G.Nodes = std::move(Nodes);
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    G.Nodes[I].Id = static_cast<NodeId>(I);
+  for (NodeId Out : Outputs)
+    if (std::find(G.OutputIds.begin(), G.OutputIds.end(), Out) ==
+        G.OutputIds.end())
+      G.OutputIds.push_back(Out);
+  // validate() dereferences output ids via node() (a DNNF_CHECK) only
+  // after range-checking them itself, and traps shape-inference
+  // diagnostics internally — so untrusted parts cannot abort here.
+  for (NodeId Out : G.OutputIds)
+    if (Out < 0 || Out >= G.numNodes())
+      return Status::errorf(ErrorCode::InvalidGraph,
+                            "graph output %d out of range", Out);
+  // Input references must be range-valid before validate() walks
+  // consumers/topological order over them.
+  for (const Node &N : G.Nodes) {
+    if (N.Dead)
+      continue;
+    for (NodeId In : N.Inputs)
+      if (In < 0 || In >= G.numNodes())
+        return Status::errorf(ErrorCode::InvalidGraph,
+                              "node '%s' references out-of-range input %d",
+                              N.Name.c_str(), In);
+  }
+  if (Status S = G.validate(); !S.ok())
+    return S;
+  return G;
+}
+
 Status Graph::validate() const {
   if (OutputIds.empty())
     return Status::error(ErrorCode::InvalidGraph,
@@ -185,6 +218,15 @@ Status Graph::validate() const {
         return Status::errorf(ErrorCode::InvalidGraph,
                               "%s node '%s' must have no inputs",
                               opKindName(N.Kind), N.Name.c_str());
+      if (N.Kind == OpKind::Constant &&
+          (N.ConstValue.isNull() || N.ConstValue.shape() != N.OutShape))
+        return Status::errorf(
+            ErrorCode::InvalidGraph,
+            "constant node '%s' payload is %s but the node shape is %s",
+            N.Name.c_str(),
+            N.ConstValue.isNull() ? "missing"
+                                  : N.ConstValue.shape().toString().c_str(),
+            N.OutShape.toString().c_str());
       if (N.Kind == OpKind::Input) {
         if (std::find(InputNames.begin(), InputNames.end(), N.Name) !=
             InputNames.end())

@@ -85,9 +85,20 @@ public:
   /// Marks nodes unreachable from the outputs dead.
   void eraseDeadNodes();
 
+  /// Assembles a graph directly from raw node slots and an output list —
+  /// the reconstruction path used by deserializers and importers. Node ids
+  /// are forced to slot order (Nodes[i].Id = i, dead slots included, so
+  /// persisted node ids stay stable), duplicate outputs are collapsed, and
+  /// the assembled graph is then validate()d in full; the parts are
+  /// treated as untrusted and every violation comes back as a Status, not
+  /// an abort.
+  static Expected<Graph> fromParts(std::vector<Node> Nodes,
+                                   std::vector<NodeId> Outputs);
+
   /// Checks arity, liveness, acyclicity, duplicate input names, the
-  /// presence of at least one output, and that every stored shape matches
-  /// inference. Returns the first violation as a Status instead of
+  /// presence of at least one output, that every stored shape matches
+  /// inference, and that every live Constant carries a payload matching
+  /// its shape. Returns the first violation as a Status instead of
   /// aborting — this is what the compile boundary calls on user-supplied
   /// graphs.
   Status validate() const;

@@ -3,6 +3,7 @@
 #include "runtime/ModelCompiler.h"
 
 #include "ops/OpSchema.h"
+#include "serialize/CompilationCache.h"
 #include "support/Error.h"
 #include "support/Timer.h"
 
@@ -133,6 +134,33 @@ void finishCompilation(CompiledModel &M, Graph &G, bool WavefrontSafe) {
 } // namespace
 
 Expected<CompiledModel>
+dnnfusion::rebuildCompiledModel(Graph G, FusionPlan Plan,
+                                const CodegenOptions &Codegen,
+                                bool WavefrontSafeMemory,
+                                bool GraphAlreadyValidated) {
+  if (!GraphAlreadyValidated)
+    if (Status S = G.validate(); !S.ok())
+      return S;
+  CompiledModel M;
+  M.Plan = std::move(Plan);
+  M.Codegen = Codegen;
+  // The plan is persisted input: verify() and the compilation tail
+  // diagnose inconsistencies through DNNF_CHECK, so trap them into a
+  // recoverable DataLoss error. Everything under the trap is pure
+  // computation (no locks, no non-RAII state).
+  try {
+    ScopedFatalErrorTrap Trap;
+    M.Plan.verify(G);
+    finishCompilation(M, G, WavefrontSafeMemory);
+  } catch (const detail::TrappedFatalError &E) {
+    return Status::errorf(ErrorCode::DataLoss,
+                          "persisted plan is inconsistent with its graph: %s",
+                          E.Message.c_str());
+  }
+  return M;
+}
+
+Expected<CompiledModel>
 dnnfusion::compileModelWithPlan(Graph G, FusionPlan Plan,
                                 const CodegenOptions &Codegen) {
   if (Status S = G.validate(); !S.ok())
@@ -155,6 +183,24 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
   // this validation may DNNF_CHECK internal invariants freely.
   if (Status S = G.validate(); !S.ok())
     return S;
+
+  // Warm start: when a cache directory is configured, key on the content
+  // of (graph, options, format version) — computed on the *input* graph,
+  // before rewriting — and skip the whole planning pipeline on a hit. Any
+  // lookup failure (absent, corrupt, version drift) is a miss; the clean
+  // recompile below overwrites the entry.
+  const bool UseCache = !Options.CacheDir.empty();
+  uint64_t CacheKey = 0;
+  if (UseCache) {
+    CacheKey = CompilationCache::fingerprint(G, Options);
+    Expected<CompiledModel> Cached =
+        CompilationCache(Options.CacheDir).lookup(CacheKey);
+    if (Cached.ok()) {
+      Cached->CacheHit = true;
+      return Cached;
+    }
+  }
+
   CompiledModel M;
   WallTimer Timer;
 
@@ -181,5 +227,9 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
     M.Codegen.FoldDataMovement = false;
   }
   finishCompilation(M, G, Options.WavefrontSafeMemory);
+  if (UseCache) {
+    // Best-effort: a failed store leaves the cache cold, nothing more.
+    (void)CompilationCache(Options.CacheDir).store(CacheKey, M);
+  }
   return M;
 }

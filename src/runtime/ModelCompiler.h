@@ -43,6 +43,16 @@ struct CompileOptions {
   RewriteOptions Rewrite;
   PlannerOptions Planner;
   CodegenOptions Codegen;
+
+  /// When non-empty, compileModel consults an on-disk compilation cache in
+  /// this directory (created on demand): artifacts are keyed by content
+  /// hash of (serialized graph, compile options, format version), a hit
+  /// skips the whole planning pipeline, and a miss stores the freshly
+  /// compiled model for the next process. A corrupt or version-mismatched
+  /// cache entry is never an error — compilation falls back to a clean
+  /// recompile and overwrites the entry. Excluded from the cache key
+  /// itself. See serialize/CompilationCache.h.
+  std::string CacheDir;
 };
 
 /// A fully compiled model, ready for execution.
@@ -80,6 +90,11 @@ struct CompiledModel {
   int64_t kernelLaunches() const {
     return static_cast<int64_t>(Blocks.size());
   }
+
+  /// True when this model came out of the on-disk compilation cache
+  /// (CompileOptions::CacheDir) instead of being compiled in-process.
+  /// Observable so benches/tests can assert warm-start behavior.
+  bool CacheHit = false;
 };
 
 /// Compiles \p G (consumed). \p Oracle resolves yellow fusion decisions
@@ -98,6 +113,24 @@ Expected<CompiledModel> compileModel(Graph G, const CompileOptions &Options = {}
 /// graph is an internal invariant violation and still aborts.
 Expected<CompiledModel> compileModelWithPlan(Graph G, FusionPlan Plan,
                                              const CodegenOptions &Codegen = {});
+
+/// Reassembles an executable CompiledModel from persisted parts: validates
+/// \p G, trap-verifies \p Plan against it (a bad plan over a valid graph
+/// comes back as a DataLoss Status here, not an abort — persisted plans
+/// are untrusted input), then reruns the deterministic compilation tail
+/// (per-block codegen, block schedule, memory planning, stats, signature).
+/// This is the loadModel path: everything expensive — rewrite search,
+/// fusion exploration, profiling — is skipped because its result IS the
+/// plan.
+///
+/// \p GraphAlreadyValidated skips the validate() pass for callers whose
+/// graph just came out of a validating gate (the artifact deserializer:
+/// Graph::fromParts validates in full) — set it ONLY in that case; the
+/// model load path would otherwise validate every graph twice.
+Expected<CompiledModel> rebuildCompiledModel(Graph G, FusionPlan Plan,
+                                             const CodegenOptions &Codegen,
+                                             bool WavefrontSafeMemory,
+                                             bool GraphAlreadyValidated = false);
 
 /// Merges pure data-movement blocks into their producer block so boundary
 /// Transpose/Reshape operators become index arithmetic on the producer's

@@ -1,0 +1,65 @@
+//===- serialize/CompilationCache.cpp - On-disk compile cache -------------------===//
+
+#include "serialize/CompilationCache.h"
+
+#include "serialize/ByteStream.h"
+#include "serialize/GraphSerializer.h"
+#include "serialize/ModelSerializer.h"
+#include "support/FileIO.h"
+#include "support/Hash.h"
+#include "support/StringUtils.h"
+
+using namespace dnnfusion;
+
+namespace {
+
+/// Every option that changes the compiled artifact, in one stable
+/// encoding. New fields append here (and implicitly cold-start caches,
+/// which is the safe direction).
+std::string serializeOptionsForKey(const CompileOptions &O) {
+  ByteWriter W;
+  W.u8(O.EnableGraphRewriting ? 1 : 0);
+  W.u8(O.EnableFusion ? 1 : 0);
+  W.u8(O.EnableOtherOpts ? 1 : 0);
+  W.u8(O.WavefrontSafeMemory ? 1 : 0);
+  W.u8(O.Rewrite.EnableAssociative ? 1 : 0);
+  W.u8(O.Rewrite.EnableDistributive ? 1 : 0);
+  W.u8(O.Rewrite.EnableCommutative ? 1 : 0);
+  W.u8(O.Rewrite.EnableCanonicalization ? 1 : 0);
+  W.u8(O.Rewrite.EnableFolding ? 1 : 0);
+  W.i32(O.Rewrite.MaxApplications);
+  W.u8(static_cast<uint8_t>(O.Planner.Seeds));
+  W.i32(O.Planner.MaxOpsPerBlock);
+  W.i32(O.Planner.MaxBlockInputs);
+  W.u8(O.Planner.EnableYellowFusion ? 1 : 0);
+  W.u8(O.Codegen.FoldDataMovement ? 1 : 0);
+  W.u8(O.Codegen.MaterializeShared ? 1 : 0);
+  W.i32(O.Codegen.ChunkSize);
+  return W.take();
+}
+
+} // namespace
+
+uint64_t CompilationCache::fingerprint(const Graph &G,
+                                       const CompileOptions &Options) {
+  uint32_t Version = SerializedFormatVersion;
+  uint64_t H = fnv1a64(&Version, sizeof(Version));
+  H = fnv1a64(serializeGraph(G), H);
+  H = fnv1a64(serializeOptionsForKey(Options), H);
+  return H;
+}
+
+std::string CompilationCache::pathForKey(uint64_t Key) const {
+  return formatString("%s/model-%016llx.dnnf", Dir.c_str(),
+                      static_cast<unsigned long long>(Key));
+}
+
+Expected<CompiledModel> CompilationCache::lookup(uint64_t Key) const {
+  return loadModel(pathForKey(Key));
+}
+
+Status CompilationCache::store(uint64_t Key, const CompiledModel &M) const {
+  if (Status S = ensureDirectory(Dir); !S.ok())
+    return S;
+  return saveModel(M, pathForKey(Key));
+}

@@ -1,0 +1,71 @@
+//===- serialize/CompilationCache.h - On-disk compile cache ------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk compilation cache (paper Figure 9b's motivation, taken to
+/// serving: the planning cost — rewrite search, mapping analysis,
+/// profiling-guided plan selection — is paid once per (graph, options)
+/// content, not once per process start). compileModel consults it
+/// transparently when CompileOptions::CacheDir is set:
+///
+///   key  = FNV-1a of (format version, serialized graph, compile options)
+///   file = <CacheDir>/model-<key>.dnnf   (a saveModel artifact)
+///
+/// A hit deserializes the artifact (schedule/memory cross-checked on
+/// load) and skips planning entirely. Every failure mode — missing entry,
+/// truncated or bit-flipped file, format-version drift — falls back to a
+/// clean recompile whose result overwrites the entry; a cache can make a
+/// compile slower, never wrong, and never aborted. Writes are atomic
+/// (temp + rename), so concurrent processes may share one directory.
+///
+/// The key deliberately excludes the LatencyOracle: profiling oracles are
+/// assumed deterministic for a given profile database. Callers mixing
+/// materially different oracles over one cache directory should use one
+/// directory per oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SERIALIZE_COMPILATIONCACHE_H
+#define DNNFUSION_SERIALIZE_COMPILATIONCACHE_H
+
+#include "runtime/ModelCompiler.h"
+
+#include <string>
+
+namespace dnnfusion {
+
+/// Handle on one cache directory. Stateless beyond the path; cheap to
+/// construct per call.
+class CompilationCache {
+public:
+  explicit CompilationCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// Content key of one compilation: format version + serialized graph +
+  /// every compile option that influences the artifact (CacheDir itself
+  /// excluded). Collision-resistant only in the accidental sense (64-bit
+  /// FNV), which matches the cache's trust model: artifacts are
+  /// integrity-checked on load anyway.
+  static uint64_t fingerprint(const Graph &G, const CompileOptions &Options);
+
+  /// The artifact path for \p Key inside this cache directory.
+  std::string pathForKey(uint64_t Key) const;
+
+  /// Loads the artifact for \p Key. NotFound when absent, DataLoss when
+  /// present but unusable — callers treat any error as a miss.
+  Expected<CompiledModel> lookup(uint64_t Key) const;
+
+  /// Persists \p M under \p Key, creating the directory on demand.
+  /// Best-effort by contract: a failure leaves the cache cold, not the
+  /// caller broken.
+  Status store(uint64_t Key, const CompiledModel &M) const;
+
+private:
+  std::string Dir;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SERIALIZE_COMPILATIONCACHE_H

@@ -1,0 +1,63 @@
+//===- serialize/GraphSerializer.h - Graph persistence -----------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of the full Graph IR — nodes, attributes, weight payloads,
+/// named inputs/outputs, dead-slot tombstones — in two forms:
+///
+///  - a self-describing binary encoding (the GRPH section of the container
+///    format specified in docs/FORMAT.md), byte-identical across hosts and
+///    exact to the bit for weights; and
+///  - a line-oriented text form that renders the same information
+///    human-diffably (hex floats keep it bit-exact) and parses back, for
+///    review, golden files, and hand-written models.
+///
+/// Node ids survive both round trips verbatim (dead slots included), which
+/// is what lets a FusionPlan serialized next to the graph keep referring to
+/// its nodes by id.
+///
+/// Both readers treat their input as untrusted: every malformed byte
+/// stream or text document is rejected with a DataLoss/InvalidGraph
+/// Status — never an abort — and the decoded graph passes the same
+/// Graph::validate() gate as any user-supplied graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SERIALIZE_GRAPHSERIALIZER_H
+#define DNNFUSION_SERIALIZE_GRAPHSERIALIZER_H
+
+#include "graph/Graph.h"
+#include "serialize/ByteStream.h"
+
+#include <string>
+
+namespace dnnfusion {
+
+/// Appends the binary encoding of \p G to \p W.
+void serializeGraph(const Graph &G, ByteWriter &W);
+
+/// The binary encoding of \p G as a standalone byte string.
+std::string serializeGraph(const Graph &G);
+
+/// Decodes a graph from \p R (positioned at the start of a graph
+/// encoding). On success the graph has passed Graph::validate().
+Expected<Graph> deserializeGraph(ByteReader &R);
+
+/// Decodes a graph from \p Bytes; trailing bytes are a DataLoss error.
+Expected<Graph> deserializeGraph(const std::string &Bytes);
+
+/// Renders \p G as the human-diffable text form. Weights are written as
+/// hex floats, so the rendering is exact and graphFromText() restores the
+/// graph bit-for-bit.
+std::string graphToText(const Graph &G);
+
+/// Parses a graphToText() document (or a hand-written one). Malformed
+/// documents are rejected with a Status carrying the offending line.
+Expected<Graph> graphFromText(const std::string &Text);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SERIALIZE_GRAPHSERIALIZER_H

@@ -1,0 +1,48 @@
+//===- support/FileIO.h - Whole-file binary IO -------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file binary reads and atomic writes for the persistence layer.
+/// Reads report missing/unreadable files through the recoverable error
+/// model (a serialized artifact is caller-supplied input); writes go
+/// through a temp-file + rename so a concurrent reader — e.g. another
+/// process sharing a compilation-cache directory — never observes a
+/// half-written artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_FILEIO_H
+#define DNNFUSION_SUPPORT_FILEIO_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace dnnfusion {
+
+/// Reads the entire file at \p Path into a byte string. A missing file is
+/// ErrorCode::NotFound; any other IO failure is ErrorCode::Internal.
+Expected<std::string> readFileBytes(const std::string &Path);
+
+/// Writes \p Bytes to \p Path atomically: the data lands in a unique
+/// sibling temp file first and is renamed into place, so concurrent
+/// readers see either the old content or the new, never a prefix.
+Status writeFileAtomic(const std::string &Path, const std::string &Bytes);
+
+/// True when \p Path exists (any file type).
+bool fileExists(const std::string &Path);
+
+/// Creates directory \p Path (and missing parents). Ok when it already
+/// exists as a directory.
+Status ensureDirectory(const std::string &Path);
+
+/// Removes the file at \p Path if present (best-effort; used by tests and
+/// cache maintenance).
+void removeFileIfExists(const std::string &Path);
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_FILEIO_H

@@ -1,0 +1,48 @@
+//===- support/Hash.h - Content hashing --------------------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a content hashing. Used by the persistence layer both as the
+/// integrity checksum of serialized artifacts and as the content key of the
+/// on-disk compilation cache (hash of serialized graph + compile options +
+/// format version). Not cryptographic: it detects corruption and drift, it
+/// does not defend against deliberate collisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_HASH_H
+#define DNNFUSION_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dnnfusion {
+
+inline constexpr uint64_t Fnv1a64OffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t Fnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a over \p Size bytes, continuing from \p State (chainable: feed the
+/// previous result back in to hash discontiguous pieces as one stream).
+inline uint64_t fnv1a64(const void *Data, size_t Size,
+                        uint64_t State = Fnv1a64OffsetBasis) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    State ^= Bytes[I];
+    State *= Fnv1a64Prime;
+  }
+  return State;
+}
+
+/// FNV-1a of a string's contents.
+inline uint64_t fnv1a64(const std::string &S,
+                        uint64_t State = Fnv1a64OffsetBasis) {
+  return fnv1a64(S.data(), S.size(), State);
+}
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_HASH_H

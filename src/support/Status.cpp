@@ -20,6 +20,8 @@ const char *dnnfusion::errorCodeName(ErrorCode Code) {
     return "not_found";
   case ErrorCode::FailedPrecondition:
     return "failed_precondition";
+  case ErrorCode::DataLoss:
+    return "data_loss";
   case ErrorCode::Internal:
     return "internal";
   }

@@ -38,6 +38,11 @@ enum class ErrorCode {
   NotFound,
   /// The call is valid but the receiver cannot serve it in this state.
   FailedPrecondition,
+  /// Persisted bytes are unusable: truncated, corrupted, checksum
+  /// mismatch, or written by an incompatible format version. Loaders treat
+  /// serialized artifacts as untrusted input and report every malformed
+  /// stream with this code (the compilation cache reacts by recompiling).
+  DataLoss,
   /// Should-never-happen wrapped as a recoverable error at the boundary.
   Internal,
 };

@@ -31,8 +31,12 @@
 #include "ops/OpSchema.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/InferenceSession.h"
+#include "serialize/GraphSerializer.h"
+#include "serialize/ModelSerializer.h"
 #include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
+
+#include <cstring>
 
 #include <algorithm>
 #include <cmath>
@@ -1287,6 +1291,118 @@ std::string fuzzMalformedRequests(const FuzzSpec &Spec) {
         static_cast<unsigned long long>(Metrics.RequestsServed),
         static_cast<unsigned long long>(Metrics.RequestsRejected),
         Mutations.size() + 1);
+  return "";
+}
+
+std::string fuzzSerializeRoundtrip(const FuzzSpec &Spec) {
+  auto Fail = [&](const char *What, const std::string &Detail) {
+    return formatString("GraphFuzz seed %llu: %s: %s",
+                        static_cast<unsigned long long>(Spec.Seed), What,
+                        Detail.c_str());
+  };
+  auto GraphsMatch = [](const Graph &A, const Graph &B) -> std::string {
+    if (A.toString() != B.toString())
+      return "structural dump differs";
+    if (A.numNodes() != B.numNodes())
+      return "node count differs";
+    for (NodeId Id = 0; Id < A.numNodes(); ++Id) {
+      const Node &NA = A.node(Id);
+      const Node &NB = B.node(Id);
+      if (NA.Dead != NB.Dead || NA.Name != NB.Name)
+        return formatString("node %d dead/name differs", Id);
+      if (NA.Dead || NA.Kind != OpKind::Constant)
+        continue;
+      if (NA.ConstValue.byteSize() != NB.ConstValue.byteSize() ||
+          NA.ConstValue.dtype() != NB.ConstValue.dtype() ||
+          std::memcmp(NA.ConstValue.data(), NB.ConstValue.data(),
+                      NA.ConstValue.byteSize()) != 0)
+        return formatString("constant %d payload differs", Id);
+    }
+    return "";
+  };
+
+  Graph G = buildGraph(Spec);
+
+  // Binary artifact roundtrip: exact structure + bit-exact weights.
+  std::string GraphBytes = serializeGraphArtifact(G);
+  Expected<Graph> Binary = deserializeGraphArtifact(GraphBytes);
+  if (!Binary.ok())
+    return Fail("binary graph roundtrip rejected",
+                Binary.status().toString());
+  if (std::string Diff = GraphsMatch(G, *Binary); !Diff.empty())
+    return Fail("binary graph roundtrip mismatch", Diff);
+
+  // Text form roundtrip: same guarantees through the human-diffable path.
+  Expected<Graph> Text = graphFromText(graphToText(G));
+  if (!Text.ok())
+    return Fail("text graph roundtrip rejected", Text.status().toString());
+  if (std::string Diff = GraphsMatch(G, *Text); !Diff.empty())
+    return Fail("text graph roundtrip mismatch", Diff);
+
+  // Compiled artifact roundtrip: the loaded model must execute
+  // bit-identically to the in-memory one (same plan, same schedule, same
+  // arena layout, same codegen).
+  CompiledModel M = cantFail(compileModel(std::move(G)));
+  std::string ModelBytes = serializeCompiledModel(M);
+  Expected<CompiledModel> Loaded = deserializeCompiledModel(ModelBytes);
+  if (!Loaded.ok())
+    return Fail("compiled-model roundtrip rejected",
+                Loaded.status().toString());
+  std::vector<Tensor> Inputs = specInputs(Spec);
+  ExecutionContext Original(M);
+  ExecutionContext Restored(*Loaded);
+  std::vector<Tensor> Want = Original.run(Inputs);
+  std::vector<Tensor> Got = Restored.run(Inputs);
+  if (std::optional<std::string> Diff =
+          compareOutputs(Want, Got, 0.0f, 0.0f))
+    return Fail("loaded model output not bit-identical", *Diff);
+
+  // Corruption sweep, derived deterministically from the seed. Every
+  // sample must reject with a Status; an abort kills this process, which
+  // is exactly what the dimension detects.
+  Rng R(Spec.Seed ^ 0xc0881e5bad5eed5ull);
+  const size_t Size = ModelBytes.size();
+  size_t Truncations[] = {0, 7, Size / 4, Size / 2, Size - 1,
+                          static_cast<size_t>(R.nextBelow(Size))};
+  for (size_t Len : Truncations) {
+    if (deserializeCompiledModel(ModelBytes.substr(0, Len)).ok())
+      return Fail("truncated artifact accepted",
+                  formatString("length %zu of %zu", Len, Size));
+  }
+  for (int I = 0; I < 8; ++I) {
+    std::string Corrupt = ModelBytes;
+    size_t Offset = static_cast<size_t>(R.nextBelow(Size));
+    Corrupt[Offset] = static_cast<char>(
+        Corrupt[Offset] ^ static_cast<char>(1u << R.nextBelow(8)));
+    if (deserializeCompiledModel(Corrupt).ok())
+      return Fail("bit-flipped artifact accepted",
+                  formatString("flip at byte %zu of %zu", Offset, Size));
+  }
+  // Same for the bare graph artifact (different header kind, same rules).
+  for (int I = 0; I < 4; ++I) {
+    std::string Corrupt = GraphBytes;
+    size_t Offset = static_cast<size_t>(R.nextBelow(Corrupt.size()));
+    Corrupt[Offset] = static_cast<char>(
+        Corrupt[Offset] ^ static_cast<char>(1u << R.nextBelow(8)));
+    if (deserializeGraphArtifact(Corrupt).ok())
+      return Fail("bit-flipped graph artifact accepted",
+                  formatString("flip at byte %zu", Offset));
+  }
+  // The text form has no checksum, so a mutation may legitimately still
+  // parse (e.g. a changed weight digit) — the contract under corruption
+  // is weaker but absolute: graphFromText must return an Expected, never
+  // abort or crash, on any mutated or truncated document. Surviving these
+  // calls IS the assertion.
+  std::string TextDoc = graphToText(Loaded->G);
+  for (int I = 0; I < 8; ++I) {
+    std::string Mutated = TextDoc;
+    size_t Offset = static_cast<size_t>(R.nextBelow(Mutated.size()));
+    Mutated[Offset] = static_cast<char>(R.nextBelow(256));
+    (void)graphFromText(Mutated);
+  }
+  for (int I = 0; I < 4; ++I)
+    (void)graphFromText(
+        TextDoc.substr(0, static_cast<size_t>(R.nextBelow(TextDoc.size()))));
   return "";
 }
 

@@ -260,4 +260,24 @@ TEST_P(MalformedRequestFuzz, RequestsAreRejectedNeverAborted) {
 INSTANTIATE_TEST_SUITE_P(Sweep, MalformedRequestFuzz,
                          ::testing::Range(0, 60));
 
+//===----------------------------------------------------------------------===//
+// The serialization dimension
+//===----------------------------------------------------------------------===//
+
+/// Every fuzzed graph must round-trip through the binary and text
+/// serializers exactly, its compiled artifact must restore to a
+/// bit-identical executable, and a seed-derived corruption sweep over the
+/// serialized blob must reject with a Status on every sample — an abort
+/// kills the binary, which is the detector.
+class SerializeRoundtripFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeRoundtripFuzz, ArtifactsRoundtripAndCorruptionRejects) {
+  std::string Report =
+      fuzzSerializeRoundtrip(generateSpec(sweepSeed(GetParam())));
+  EXPECT_TRUE(Report.empty()) << Report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerializeRoundtripFuzz,
+                         ::testing::Range(0, 40));
+
 } // namespace

@@ -530,7 +530,7 @@ TEST(Status, EveryErrorCodeHasAName) {
   for (ErrorCode C :
        {ErrorCode::Ok, ErrorCode::InvalidArgument, ErrorCode::InvalidGraph,
         ErrorCode::NotFound, ErrorCode::FailedPrecondition,
-        ErrorCode::Internal})
+        ErrorCode::DataLoss, ErrorCode::Internal})
     EXPECT_STRNE(errorCodeName(C), "?");
 }
 
