@@ -2,17 +2,26 @@
 //
 // Micro-benchmarks (google-benchmark) isolating the mechanisms behind the
 // end-to-end results: fused vs unfused elementwise chains, data-movement
-// folding vs materialization, DFT chunk-size sensitivity, and the tiled
-// GEMM configurations the auto-tuner searches.
+// folding vs materialization, DFT chunk-size sensitivity, interpreted vs
+// compiled-program evaluation, and the GEMM kernels (naive, tiled,
+// packed) the auto-tuner searches.
+//
+// `--json <path>` bypasses google-benchmark and emits the execution-engine
+// comparison (BENCH_kernels.json) via the shared hand-timed harness in
+// BenchUtils.h — the same output `bench_table6_latency --json` produces.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtils.h"
 #include "graph/GraphBuilder.h"
 #include "ops/Kernels.h"
+#include "ops/KernelsGemmPacked.h"
 #include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 using namespace dnnfusion;
 
@@ -100,6 +109,53 @@ void BM_ChunkSize(benchmark::State &State) {
 }
 BENCHMARK(BM_ChunkSize)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
 
+// Engine dimension: the same fused chain interpreted per chunk by the
+// tree-walk vs executed as a compiled instruction tape.
+void BM_ChainTreewalk(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  Opt.Codegen.UseCompiledPrograms = false;
+  CompiledModel M =
+      cantFail(compileModel(elementwiseChain(State.range(0), 8), Opt));
+  runModel(State, M);
+}
+BENCHMARK(BM_ChainTreewalk)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ChainProgram(benchmark::State &State) {
+  CompileOptions Opt;
+  Opt.EnableGraphRewriting = false;
+  CompiledModel M =
+      cantFail(compileModel(elementwiseChain(State.range(0), 8), Opt));
+  runModel(State, M);
+}
+BENCHMARK(BM_ChainProgram)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// The packed register-blocked micro kernel across blocking parameters
+// (weights prepacked outside the loop, the serving hot path).
+void BM_GemmPacked(benchmark::State &State) {
+  int64_t N = 256;
+  Rng R(5);
+  Tensor A(Shape({N, N})), B(Shape({N, N})), C(Shape({N, N}));
+  fillRandom(A, R);
+  fillRandom(B, R);
+  int MR = static_cast<int>(State.range(0));
+  int NR = static_cast<int>(State.range(1));
+  std::vector<float> Packed(
+      static_cast<size_t>(packedPanelElems(N, N, NR)));
+  packBPanels(B.data(), N, 1, N, N, NR, Packed.data());
+  for (auto _ : State) {
+    gemmPackedRows(A.data(), N, 1, Packed.data(), C.data(), N, 0, N, N, N,
+                   MR, NR, nullptr);
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N * N * N);
+}
+BENCHMARK(BM_GemmPacked)
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({4, 32})
+    ->Args({8, 32});
+
 void BM_MatmulTiled(benchmark::State &State) {
   int64_t N = 256;
   Rng R(5);
@@ -124,4 +180,14 @@ BENCHMARK(BM_MatmulTiled)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      return dnnfusion::bench::emitKernelsJson(argv[I + 1]);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

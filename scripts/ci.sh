@@ -10,6 +10,11 @@
 #                              # example twice against one CacheDir (the
 #                              # second process must hit), then the fig9b
 #                              # cold/warm sweep into BENCH_fig9b.json
+#   ./scripts/ci.sh perf       # perf smoke: kernel + e2e benches in
+#                              # Release; fails on crashes or on the
+#                              # engine correctness guards (packed vs
+#                              # naive, program vs treewalk divergence),
+#                              # never on timing
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,6 +39,23 @@ for CONFIG in "${CONFIGS[@]}"; do
     cmake --build "$BUILD_DIR" -j "$JOBS"
     echo "=== [tsan] smoke tests under ThreadSanitizer ==="
     ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+    continue
+  fi
+  if [ "$CONFIG" = "perf" ]; then
+    BUILD_DIR="build-ci-perf"
+    echo "=== [perf] configure ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DDNNFUSION_BUILD_TESTS=OFF -DDNNFUSION_BUILD_BENCH=ON \
+          -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [perf] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS" \
+          --target bench_table6_latency bench_fig7_breakdown
+    echo "=== [perf] kernel engines (BENCH_kernels.json) ==="
+    # Exits non-zero when any engine pair (packed vs naive, program vs
+    # treewalk) produces different bytes — the correctness guard.
+    "$BUILD_DIR/bench_table6_latency" --json BENCH_kernels.json
+    echo "=== [perf] end-to-end latency (BENCH_e2e.json) ==="
+    "$BUILD_DIR/bench_fig7_breakdown" --json BENCH_e2e.json
     continue
   fi
   if [ "$CONFIG" = "cache" ]; then

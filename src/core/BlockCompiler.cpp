@@ -2,6 +2,7 @@
 
 #include "core/BlockCompiler.h"
 
+#include "ops/KernelsGemmPacked.h"
 #include "ops/OpSchema.h"
 #include "support/Error.h"
 
@@ -288,6 +289,13 @@ struct Builder {
     }
 
     finalizeSlots();
+
+    // Lower every expression tree to its instruction tape once slots are
+    // final (the tape embeds resolved buffer-slot ids).
+    for (CompiledStep &Step : Out.Steps)
+      if (Step.K == CompiledStep::Kind::Expression)
+        Step.Program = DftProgram::compile(Step.Tree);
+
     return std::move(Out);
   }
 };
@@ -302,7 +310,7 @@ CompiledBlock dnnfusion::compileBlock(const Graph &G, const FusionBlock &Block,
 
 void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
                              const CodegenOptions &Options,
-                             const KernelConfig &Kernels) {
+                             const BlockRuntime &Rt) {
   DNNF_CHECK(Io.Externals.size() == Block.ExternalInputs.size() &&
                  Io.LocalPtrs.size() == Block.Locals.size(),
              "block IO binding mismatch");
@@ -316,7 +324,15 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
     float *OutPtr = Io.LocalPtrs[static_cast<size_t>(Step.OutputSlot) -
                                  Io.Externals.size()];
     if (Step.K == CompiledStep::Kind::Expression) {
-      Step.Tree.evaluate(Slots, OutPtr, Options.ChunkSize);
+      if (Options.UseCompiledPrograms && !Step.Program.empty()) {
+        if (Rt.Counters)
+          ++Rt.Counters->ProgramSteps;
+        Step.Program.execute(Slots, OutPtr, Options.ChunkSize);
+      } else {
+        if (Rt.Counters)
+          ++Rt.Counters->TreeWalkSteps;
+        Step.Tree.evaluate(Slots, OutPtr, Options.ChunkSize);
+      }
       continue;
     }
     // RefKernel step.
@@ -330,6 +346,12 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
       Inputs.push_back(&InputViews.back());
     }
     Tensor OutView = Tensor::borrow(OutPtr, Step.OutShape);
-    runRefKernel(Step.Op, Step.Attrs, Inputs, OutView, Kernels);
+    KernelRuntime KRt;
+    if (Rt.Prepack && Step.PrepackIndex >= 0)
+      KRt.Prepacked = &(*Rt.Prepack)[static_cast<size_t>(Step.PrepackIndex)];
+    KRt.PackScratch = Rt.PackScratch;
+    KRt.PackScratchElems = Rt.PackScratchElems;
+    KRt.Counters = Rt.Counters;
+    runRefKernel(Step.Op, Step.Attrs, Inputs, OutView, Options.Kernels, KRt);
   }
 }

@@ -29,6 +29,7 @@
 #define DNNFUSION_CORE_BLOCKCOMPILER_H
 
 #include "core/Dft.h"
+#include "core/DftProgram.h"
 #include "core/FusionPlan.h"
 #include "ops/Kernels.h"
 
@@ -46,6 +47,15 @@ struct CodegenOptions {
   bool MaterializeShared = true;
   /// Elements per evaluation chunk (<= DftMaxChunk).
   int ChunkSize = 256;
+  /// Execute expression steps through the compiled instruction tape
+  /// (DftProgram); false = the legacy recursive tree-walk reference path.
+  /// Bit-identical either way — a perf/debugging toggle, not a semantic
+  /// one. Tapes are always lowered at compileBlock time so the toggle can
+  /// flip per execution without recompiling.
+  bool UseCompiledPrograms = true;
+  /// Tunables of the Many-to-Many kernels executed by RefKernel steps
+  /// (packed-GEMM engine switches and blocking parameters).
+  KernelConfig Kernels;
 };
 
 /// One step of a compiled block.
@@ -63,6 +73,14 @@ struct CompiledStep {
 
   // Expression.
   DftTree Tree;
+  /// The tree lowered to a flat instruction tape (the default execution
+  /// engine; the tree stays as the reference interpreter).
+  DftProgram Program;
+
+  /// Index into CompiledModel::Prepack when this RefKernel step's packed
+  /// operand is a constant weight packed at model-compile time; -1
+  /// otherwise. Assigned by the model compiler, rebuilt on loadModel.
+  int PrepackIndex = -1;
 
   int OutputSlot = -1;
   Shape OutShape;
@@ -107,11 +125,25 @@ struct BlockIo {
   std::vector<float *> LocalPtrs;
 };
 
+/// Per-execution runtime resources for one block: the model's prepacked
+/// constant weights, the executing lane's packing scratch, and the
+/// engine-path counters to fill. All optional — a default BlockRuntime
+/// executes correctly (kernels fall back to heap packing, counters are
+/// skipped).
+struct BlockRuntime {
+  const std::vector<PackedOperand> *Prepack = nullptr;
+  float *PackScratch = nullptr;
+  int64_t PackScratchElems = 0;
+  EngineCounters *Counters = nullptr;
+};
+
 /// Executes \p Block with \p Io. Runs steps sequentially; each step is
-/// internally parallel.
+/// internally parallel. Expression steps run the compiled program or the
+/// legacy tree-walk per Options.UseCompiledPrograms; RefKernel steps
+/// receive Options.Kernels plus the per-call resources from \p Rt.
 void executeBlock(const CompiledBlock &Block, const BlockIo &Io,
                   const CodegenOptions &Options = {},
-                  const KernelConfig &Kernels = {});
+                  const BlockRuntime &Rt = {});
 
 } // namespace dnnfusion
 

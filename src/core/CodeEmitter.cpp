@@ -110,6 +110,19 @@ std::string dnnfusion::emitBlockSource(const Graph &G,
     Src += formatString("  for (int64_t i = 0; i < %lld; ++i)\n",
                         static_cast<long long>(Step.Tree.OutElems));
     Src += formatString("    buf%d[i] = %s;\n", Step.OutputSlot, Expr.c_str());
+    // The instruction tape this step actually executes (the loop above is
+    // the mathematical form; the tape is the engine's schedule).
+    if (!Step.Program.empty()) {
+      Src += formatString(
+          "  // program tape: %zu instr(s), %d chunk reg(s), %d index "
+          "set(s)\n",
+          Step.Program.Instrs.size(), Step.Program.NumValueRegs,
+          Step.Program.NumIndexSets);
+      for (const std::string &Line :
+           splitString(Step.Program.describe(), '\n'))
+        if (!Line.empty())
+          Src += "  //   " + Line + "\n";
+    }
   }
   Src += "}\n";
   return Src;

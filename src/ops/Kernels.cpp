@@ -9,7 +9,8 @@ using namespace dnnfusion;
 
 void dnnfusion::runRefKernel(OpKind Kind, const AttrMap &Attrs,
                              const std::vector<const Tensor *> &Inputs,
-                             Tensor &Out, const KernelConfig &Config) {
+                             Tensor &Out, const KernelConfig &Config,
+                             const KernelRuntime &Rt) {
   if (isElementwise(Kind) || Kind == OpKind::BatchNormalization)
     return detail::runElementwiseKernel(Kind, Attrs, Inputs, Out);
 
@@ -31,11 +32,11 @@ void dnnfusion::runRefKernel(OpKind Kind, const AttrMap &Attrs,
 
   case OpKind::MatMul:
   case OpKind::Gemm:
-    return detail::runMatMulKernel(Kind, Attrs, Inputs, Out, Config);
+    return detail::runMatMulKernel(Kind, Attrs, Inputs, Out, Config, Rt);
 
   case OpKind::Conv:
   case OpKind::ConvTranspose:
-    return detail::runConvKernel(Kind, Attrs, Inputs, Out);
+    return detail::runConvKernel(Kind, Attrs, Inputs, Out, Config, Rt);
 
   case OpKind::MaxPool:
   case OpKind::AveragePool:
@@ -52,5 +53,28 @@ void dnnfusion::runRefKernel(OpKind Kind, const AttrMap &Attrs,
 
   default:
     reportFatalErrorf("runRefKernel: no kernel for %s", opKindName(Kind));
+  }
+}
+
+int64_t dnnfusion::detail::packScratchElemsForStep(
+    OpKind Kind, const AttrMap &Attrs, const std::vector<Shape> &InputShapes,
+    const Shape &OutShape, const KernelConfig &Config,
+    bool WeightIsConstant) {
+  if (!Config.UsePackedGemm || InputShapes.size() < 2)
+    return 0;
+  switch (Kind) {
+  case OpKind::MatMul:
+  case OpKind::Gemm:
+    // A constant B operand is served by the model's prepack store.
+    if (WeightIsConstant)
+      return 0;
+    return matmulPackScratchElems(Kind, Attrs, InputShapes[0],
+                                  InputShapes[1], OutShape, Config);
+  case OpKind::Conv:
+    // im2col columns are activation-derived: always packed at run time.
+    return convPackScratchElems(Attrs, InputShapes[0], InputShapes[1],
+                                OutShape, Config);
+  default:
+    return 0;
   }
 }

@@ -10,6 +10,13 @@
 /// This is the substrate the no-fusion baseline (OurB) executes on and the
 /// oracle the fused evaluator is tested against.
 ///
+/// The compute-intensive Many-to-Many kernels (MatMul/Gemm/Conv) carry two
+/// implementations: the legacy naive loops and the packed register-blocked
+/// engine (KernelsGemmPacked.h), selected by KernelConfig::UsePackedGemm
+/// plus a per-shape profitability gate. Both produce bit-identical results
+/// (same per-element k-order accumulation), so the toggle is purely a
+/// performance/debugging knob.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DNNFUSION_OPS_KERNELS_H
@@ -23,6 +30,8 @@
 
 namespace dnnfusion {
 
+struct PackedOperand;
+
 /// Tunable parameters of the compute-intensive kernels; the auto-tuner
 /// (Figure 9b) searches this space.
 struct KernelConfig {
@@ -31,6 +40,63 @@ struct KernelConfig {
   int TileK = 64;
   /// Row-block unroll factor of the matmul micro kernel (1, 2, or 4).
   int UnrollM = 4;
+
+  /// Route MatMul/Gemm/Conv through the packed register-blocked engine
+  /// where the per-shape gate says it wins; false = the legacy naive
+  /// kernels everywhere (bit-identical either way).
+  bool UsePackedGemm = true;
+  /// Micro-kernel row-block height (accumulator tile rows, 1..8).
+  int PackMR = 8;
+  /// B-panel width (accumulator tile columns; clamped to 4/8/16/32). Wide
+  /// panels give the inner loop a long fixed trip count that vectorizes
+  /// well; the profitability gate declines shapes where tail padding
+  /// would waste too much of the panel.
+  int PackNR = 32;
+  /// Column-tile width of the conv im2col pass: output pixels packed and
+  /// multiplied per tile, bounding the packing scratch.
+  int PackColTile = 1024;
+};
+
+/// Execution-engine path counters: which implementation each fused-block
+/// step and each Many-to-Many kernel call actually took, and whether the
+/// packed path found its weights prepacked. Accumulated per block, reduced
+/// deterministically into ExecutionStats, surfaced per request through
+/// SessionMetrics.
+struct EngineCounters {
+  /// Expression steps evaluated by the compiled DFT program / the legacy
+  /// tree-walk interpreter.
+  int64_t ProgramSteps = 0;
+  int64_t TreeWalkSteps = 0;
+  /// MatMul/Gemm/Conv calls taking the packed / the naive kernel.
+  int64_t PackedKernelCalls = 0;
+  int64_t DirectKernelCalls = 0;
+  /// Packed calls that used a compile-time prepacked operand vs. packed at
+  /// run time (into scratch).
+  int64_t PrepackHits = 0;
+  int64_t PrepackMisses = 0;
+
+  void add(const EngineCounters &O) {
+    ProgramSteps += O.ProgramSteps;
+    TreeWalkSteps += O.TreeWalkSteps;
+    PackedKernelCalls += O.PackedKernelCalls;
+    DirectKernelCalls += O.DirectKernelCalls;
+    PrepackHits += O.PrepackHits;
+    PrepackMisses += O.PrepackMisses;
+  }
+};
+
+/// Optional per-call runtime resources for a kernel invocation. All fields
+/// are advisory: a kernel missing its prepack or scratch falls back to
+/// packing on the fly (heap), never to wrong results.
+struct KernelRuntime {
+  /// Prepacked weight operand for this call (the step's PrepackIndex
+  /// resolved against the model's prepack store), or null.
+  const PackedOperand *Prepacked = nullptr;
+  /// Per-lane packing scratch (MemoryPlan::PackScratchBytes elements).
+  float *PackScratch = nullptr;
+  int64_t PackScratchElems = 0;
+  /// Engine-path counters to increment, or null.
+  EngineCounters *Counters = nullptr;
 };
 
 /// Executes \p Kind on \p Inputs, writing \p Out (pre-allocated with the
@@ -38,7 +104,8 @@ struct KernelConfig {
 /// by the graph verifier.
 void runRefKernel(OpKind Kind, const AttrMap &Attrs,
                   const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                  const KernelConfig &Config = KernelConfig());
+                  const KernelConfig &Config = KernelConfig(),
+                  const KernelRuntime &Rt = KernelRuntime());
 
 /// Tiled single-threaded matmul micro kernel used directly by the
 /// auto-tuner: C[M,N] (+)= A[M,K] * B[K,N].
@@ -55,12 +122,35 @@ void runDataMovementKernel(OpKind Kind, const AttrMap &Attrs,
                            Tensor &Out);
 void runMatMulKernel(OpKind Kind, const AttrMap &Attrs,
                      const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                     const KernelConfig &Config);
+                     const KernelConfig &Config,
+                     const KernelRuntime &Rt = KernelRuntime());
 void runConvKernel(OpKind Kind, const AttrMap &Attrs,
-                   const std::vector<const Tensor *> &Inputs, Tensor &Out);
+                   const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                   const KernelConfig &Config = KernelConfig(),
+                   const KernelRuntime &Rt = KernelRuntime());
 void runPoolReduceKernel(OpKind Kind, const AttrMap &Attrs,
                          const std::vector<const Tensor *> &Inputs,
                          Tensor &Out);
+
+/// Per-family packing-scratch sizing (elements; 0 = naive path / direct).
+int64_t matmulPackScratchElems(OpKind Kind, const AttrMap &Attrs,
+                               const Shape &AShape, const Shape &BShape,
+                               const Shape &OutShape,
+                               const KernelConfig &Config);
+int64_t convPackScratchElems(const AttrMap &Attrs, const Shape &XShape,
+                             const Shape &WShape, const Shape &OutShape,
+                             const KernelConfig &Config);
+
+/// Packing-scratch elements a MatMul/Gemm/Conv step may need at run time
+/// under \p Config (0 when the call would take the naive path or its
+/// packed operand is known-constant — \p WeightIsConstant — and therefore
+/// served by the prepack store). The memory planner sizes the per-lane
+/// pack scratch from the max over all steps.
+int64_t packScratchElemsForStep(OpKind Kind, const AttrMap &Attrs,
+                                const std::vector<Shape> &InputShapes,
+                                const Shape &OutShape,
+                                const KernelConfig &Config,
+                                bool WeightIsConstant);
 } // namespace detail
 
 } // namespace dnnfusion

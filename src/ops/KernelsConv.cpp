@@ -1,9 +1,11 @@
-//===- ops/KernelsConv.cpp - Convolution reference kernels --------------------===//
+//===- ops/KernelsConv.cpp - Convolution kernels --------------------------------===//
 
 #include "ops/Kernels.h"
+#include "ops/KernelsGemmPacked.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace dnnfusion;
@@ -16,6 +18,169 @@ std::vector<int64_t> spatialAttr(const AttrMap &Attrs, const char *Name,
   if (V.empty())
     V.assign(Count, Default);
   return V;
+}
+
+//===----------------------------------------------------------------------===//
+// im2col + packed GEMM path
+//===----------------------------------------------------------------------===//
+
+/// Geometry of a Conv lowered to column-tiled im2col GEMM:
+/// Y[n, g*Fg + f, o] = bias[f] + sum_k W[f, k] * col[k, o] with
+/// k = ci * kernelN + kflat — exactly the direct kernels' accumulation
+/// order (Ci outer, kernel coordinates inner, ascending), so the packed
+/// result is bit-identical to the direct result wherever every tap is
+/// in bounds; out-of-bounds taps contribute an exact +0.0f product
+/// instead of being skipped (finite weights assumed).
+struct ConvPackGeom {
+  bool Eligible = false;
+  int Sp = 0;
+  int64_t N = 0, C = 0, F = 0, Cg = 0, Group = 1, Fg = 0;
+  int64_t K = 0; ///< Cg * kernelN: the GEMM reduction length.
+  int64_t OutSpatial = 1, InSpatial = 1;
+  int64_t KDims[3] = {1, 1, 1}, IDims[3] = {1, 1, 1}, ODims[3] = {1, 1, 1};
+  int64_t S[3] = {1, 1, 1}, P[3] = {0, 0, 0}, Dil[3] = {1, 1, 1};
+  int64_t Tile = 0; ///< im2col columns packed per pass.
+};
+
+ConvPackGeom convPackGeom(const AttrMap &Attrs, const Shape &XShape,
+                          const Shape &WShape, const Shape &OutShape,
+                          const KernelConfig &Config) {
+  ConvPackGeom G;
+  if (!Config.UsePackedGemm)
+    return G;
+  int Sp = XShape.rank() - 2;
+  if (Sp < 1 || Sp > 3)
+    return G;
+  G.Sp = Sp;
+  G.N = XShape.dim(0);
+  G.C = XShape.dim(1);
+  G.F = WShape.dim(0);
+  G.Cg = WShape.dim(1);
+  G.Group = Attrs.getInt("group", 1);
+  G.Fg = G.F / G.Group;
+  size_t USp = static_cast<size_t>(Sp);
+  std::vector<int64_t> S = spatialAttr(Attrs, "strides", USp, 1);
+  std::vector<int64_t> P = spatialAttr(Attrs, "pads", USp, 0);
+  std::vector<int64_t> D = spatialAttr(Attrs, "dilations", USp, 1);
+  int64_t KernelN = 1;
+  for (int I = 0; I < Sp; ++I) {
+    G.KDims[I] = WShape.dim(2 + I);
+    G.IDims[I] = XShape.dim(2 + I);
+    G.ODims[I] = OutShape.dim(2 + I);
+    G.S[I] = S[static_cast<size_t>(I)];
+    G.P[I] = P[static_cast<size_t>(I)];
+    G.Dil[I] = D[static_cast<size_t>(I)];
+    KernelN *= G.KDims[I];
+    G.OutSpatial *= G.ODims[I];
+    G.InSpatial *= G.IDims[I];
+  }
+  // The direct 3-D kernel ignores the dilations attribute; mirror it so
+  // the two paths can never disagree on semantics.
+  if (Sp == 3)
+    for (int I = 0; I < 3; ++I)
+      if (G.Dil[I] != 1)
+        return G;
+  G.K = G.Cg * KernelN;
+  // Profitability: the im2col pass costs one K x OutSpatial sweep per
+  // (image, group); it amortizes over the Fg filter rows sharing the
+  // columns. Depthwise (Fg == 1) and tiny problems stay direct.
+  if (G.Fg < 4 || G.K < 8 || G.OutSpatial < 8)
+    return G;
+  G.Tile = std::min<int64_t>(G.OutSpatial,
+                             std::max(Config.PackColTile, 64));
+  G.Eligible = true;
+  return G;
+}
+
+/// Elements of packing scratch the packed conv path needs.
+int64_t convPackElems(const ConvPackGeom &G, int NR) {
+  return packedPanelElems(G.K, G.Tile, NR);
+}
+
+void runConvPacked(const ConvPackGeom &G,
+                   const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                   const KernelConfig &Config, const KernelRuntime &Rt) {
+  const float *X = Inputs[0]->data();
+  const float *W = Inputs[1]->data();
+  const float *Bias = Inputs.size() == 3 ? Inputs[2]->data() : nullptr;
+  int NR = clampPackNR(Config.PackNR);
+  int MR = clampPackMR(Config.PackMR);
+  int Sp = G.Sp;
+
+  // Per-k tables: source channel and per-dimension (dilated) kernel
+  // offsets, so the packing loop does no div/mod per element.
+  std::vector<int> KCi(static_cast<size_t>(G.K));
+  std::vector<int64_t> KOff(static_cast<size_t>(G.K * Sp));
+  int64_t KernelN = G.K / G.Cg;
+  for (int64_t Kk = 0; Kk < G.K; ++Kk) {
+    KCi[static_cast<size_t>(Kk)] = static_cast<int>(Kk / KernelN);
+    int64_t Rem = Kk % KernelN;
+    for (int D = Sp - 1; D >= 0; --D) {
+      KOff[static_cast<size_t>(Kk * Sp + D)] =
+          (Rem % G.KDims[D]) * G.Dil[D];
+      Rem /= G.KDims[D];
+    }
+  }
+
+  PackBuffer Buf;
+  float *Packed = Buf.acquire(Rt.PackScratch, Rt.PackScratchElems,
+                              convPackElems(G, NR));
+
+  for (int64_t Ni = 0; Ni < G.N; ++Ni) {
+    for (int64_t Gi = 0; Gi < G.Group; ++Gi) {
+      const float *Wg = W + Gi * G.Fg * G.K;
+      const float *Xng = X + (Ni * G.C + Gi * G.Cg) * G.InSpatial;
+      float *Yng = Out.data() + (Ni * G.F + Gi * G.Fg) * G.OutSpatial;
+      const float *BiasG = Bias ? Bias + Gi * G.Fg : nullptr;
+      for (int64_t T0 = 0; T0 < G.OutSpatial; T0 += G.Tile) {
+        int64_t T = std::min(G.Tile, G.OutSpatial - T0);
+        int64_t Panels = (T + NR - 1) / NR;
+        // Build the im2col columns directly in packed panel layout.
+        parallelFor(Panels, [&](int64_t PB, int64_t PE) {
+          int64_t OBase[GemmMaxNR][3];
+          for (int64_t Pp = PB; Pp < PE; ++Pp) {
+            int Cols = static_cast<int>(std::min<int64_t>(NR, T - Pp * NR));
+            for (int Jj = 0; Jj < Cols; ++Jj) {
+              int64_t O = T0 + Pp * NR + Jj;
+              for (int D = Sp - 1; D >= 0; --D) {
+                OBase[Jj][D] = (O % G.ODims[D]) * G.S[D] - G.P[D];
+                O /= G.ODims[D];
+              }
+            }
+            float *Dst = Packed + Pp * G.K * NR;
+            for (int64_t Kk = 0; Kk < G.K; ++Kk) {
+              const float *Xc =
+                  Xng + KCi[static_cast<size_t>(Kk)] * G.InSpatial;
+              const int64_t *Off = &KOff[static_cast<size_t>(Kk * Sp)];
+              float *Row = Dst + Kk * NR;
+              for (int Jj = 0; Jj < NR; ++Jj) {
+                float V = 0.0f;
+                if (Jj < Cols) {
+                  int64_t Flat = 0;
+                  bool Ok = true;
+                  for (int D = 0; D < Sp; ++D) {
+                    int64_t In = OBase[Jj][D] + Off[D];
+                    if (In < 0 || In >= G.IDims[D]) {
+                      Ok = false;
+                      break;
+                    }
+                    Flat = Flat * G.IDims[D] + In;
+                  }
+                  if (Ok)
+                    V = Xc[Flat];
+                }
+                Row[Jj] = V;
+              }
+            }
+          }
+        });
+        parallelFor(G.Fg, [&](int64_t Begin, int64_t End) {
+          gemmPackedRows(Wg, G.K, 1, Packed, Yng + T0, G.OutSpatial, Begin,
+                         End, T, G.K, MR, NR, BiasG);
+        });
+      }
+    }
+  }
 }
 
 /// Direct 2-D convolution over one (n, f) output image.
@@ -245,12 +410,31 @@ void runConvTranspose(const AttrMap &Attrs,
 
 } // namespace
 
+int64_t dnnfusion::detail::convPackScratchElems(const AttrMap &Attrs,
+                                                const Shape &XShape,
+                                                const Shape &WShape,
+                                                const Shape &OutShape,
+                                                const KernelConfig &Config) {
+  ConvPackGeom G = convPackGeom(Attrs, XShape, WShape, OutShape, Config);
+  return G.Eligible ? convPackElems(G, clampPackNR(Config.PackNR)) : 0;
+}
+
 void dnnfusion::detail::runConvKernel(OpKind Kind, const AttrMap &Attrs,
                                       const std::vector<const Tensor *> &Inputs,
-                                      Tensor &Out) {
+                                      Tensor &Out, const KernelConfig &Config,
+                                      const KernelRuntime &Rt) {
   if (Kind == OpKind::ConvTranspose)
     return runConvTranspose(Attrs, Inputs, Out);
   DNNF_CHECK(Kind == OpKind::Conv, "unexpected kind in runConvKernel");
+  ConvPackGeom G = convPackGeom(Attrs, Inputs[0]->shape(),
+                                Inputs[1]->shape(), Out.shape(), Config);
+  if (G.Eligible) {
+    if (Rt.Counters)
+      ++Rt.Counters->PackedKernelCalls;
+    return runConvPacked(G, Inputs, Out, Config, Rt);
+  }
+  if (Rt.Counters)
+    ++Rt.Counters->DirectKernelCalls;
   if (Inputs[0]->shape().rank() == 4)
     return runConv2d(Attrs, Inputs, Out);
   if (Inputs[0]->shape().rank() == 5)

@@ -21,6 +21,11 @@ ExecutionContext::ExecutionContext(const CompiledModel &Model,
       static_cast<size_t>(elementsForBytes(M.Memory.ScratchBytes));
   for (std::vector<float> &Lane : ScratchLanes)
     Lane.resize(ScratchElems);
+  PackLanes.resize(pool().numLanes());
+  size_t PackElems =
+      static_cast<size_t>(elementsForBytes(M.Memory.PackScratchBytes));
+  for (std::vector<float> &Lane : PackLanes)
+    Lane.resize(PackElems);
 }
 
 ThreadPool &ExecutionContext::pool() const {
@@ -50,7 +55,8 @@ const float *ExecutionContext::valuePtr(NodeId Id,
 
 void ExecutionContext::runBlock(size_t BI, unsigned Lane,
                                 const std::vector<Tensor> &Inputs,
-                                std::vector<double> *PerBlockMs) {
+                                std::vector<double> *PerBlockMs,
+                                std::vector<EngineCounters> *PerBlockCounters) {
   const CompiledBlock &CB = M.Blocks[BI];
   BlockIo Io;
   Io.Externals.reserve(CB.ExternalInputs.size());
@@ -73,12 +79,20 @@ void ExecutionContext::runBlock(size_t BI, unsigned Lane,
   DNNF_CHECK(ScratchCursor <= M.Memory.ScratchBytes,
              "scratch overflow in block %zu", BI);
 
+  BlockRuntime Rt;
+  Rt.Prepack = &M.Prepack;
+  std::vector<float> &PackLane = PackLanes[Lane];
+  Rt.PackScratch = PackLane.empty() ? nullptr : PackLane.data();
+  Rt.PackScratchElems = static_cast<int64_t>(PackLane.size());
+  if (PerBlockCounters)
+    Rt.Counters = &(*PerBlockCounters)[BI];
+
   if (PerBlockMs) {
     WallTimer BlockTimer;
-    executeBlock(CB, Io, M.Codegen);
+    executeBlock(CB, Io, M.Codegen, Rt);
     (*PerBlockMs)[BI] = BlockTimer.millis();
   } else {
-    executeBlock(CB, Io, M.Codegen);
+    executeBlock(CB, Io, M.Codegen, Rt);
   }
 }
 
@@ -100,6 +114,15 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
     PerBlockMs.assign(M.Blocks.size(), 0.0);
     PerBlock = &PerBlockMs;
   }
+  // Engine-path counters accumulate per block (disjoint writes under
+  // wavefront dispatch) and reduce in block-index order below. The
+  // member vector is reused so a stats-collecting run allocates nothing
+  // after the first.
+  std::vector<EngineCounters> *Counters = nullptr;
+  if (Stats) {
+    CounterScratch.assign(M.Blocks.size(), EngineCounters());
+    Counters = &CounterScratch;
+  }
 
   if (usesWavefront()) {
     ThreadPool &P = pool();
@@ -108,7 +131,7 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
       P.forEach(static_cast<int64_t>(Level.size()),
                 [&](int64_t I, unsigned Lane) {
                   runBlock(static_cast<size_t>(BlockIdx[I]), Lane, Inputs,
-                           PerBlock);
+                           PerBlock, Counters);
                 });
     }
   } else {
@@ -122,10 +145,10 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
     if (M.Memory.WavefrontSafe) {
       for (const std::vector<int> &Level : M.Schedule.Levels)
         for (int BI : Level)
-          runBlock(static_cast<size_t>(BI), Lane, Inputs, PerBlock);
+          runBlock(static_cast<size_t>(BI), Lane, Inputs, PerBlock, Counters);
     } else {
       for (size_t BI = 0; BI < M.Blocks.size(); ++BI)
-        runBlock(BI, Lane, Inputs, PerBlock);
+        runBlock(BI, Lane, Inputs, PerBlock, Counters);
     }
   }
 
@@ -140,6 +163,7 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
       Stats->MainBytesRead += M.BlockBytesRead[BI];
       Stats->MainBytesWritten += M.BlockBytesWritten[BI];
       Stats->ScratchBytes += M.BlockScratchBytes[BI];
+      Stats->Engine.add(CounterScratch[BI]);
     }
     if (PerBlockTiming)
       Stats->PerBlockMs = std::move(PerBlockMs);

@@ -43,6 +43,10 @@ struct ExecutionStats {
   int64_t ScratchBytes = 0;
   int64_t PeakArenaBytes = 0;
   double WallMs = 0.0;
+  /// Execution-engine path counters (compiled-program vs tree-walk steps,
+  /// packed vs naive kernels, prepack hits/misses), reduced in block-index
+  /// order so they are identical across schedules and pool sizes.
+  EngineCounters Engine;
   /// Wall time per block, indexed by block (filled when PerBlockTiming is
   /// requested). Under wavefront dispatch these overlap in real time.
   std::vector<double> PerBlockMs;
@@ -90,9 +94,11 @@ public:
 private:
   ThreadPool &pool() const;
   /// Executes block \p BI with lane-local scratch, recording its wall time
-  /// into \p PerBlockMs when non-null.
+  /// into \p PerBlockMs and its engine counters into \p PerBlockCounters
+  /// when non-null.
   void runBlock(size_t BI, unsigned Lane, const std::vector<Tensor> &Inputs,
-                std::vector<double> *PerBlockMs);
+                std::vector<double> *PerBlockMs,
+                std::vector<EngineCounters> *PerBlockCounters);
   const float *valuePtr(NodeId Id, const std::vector<Tensor> &Inputs) const;
 
   const CompiledModel &M;
@@ -101,6 +107,12 @@ private:
   /// One scratch buffer per pool lane (workers + master), so concurrent
   /// blocks never share transient staging space.
   std::vector<std::vector<float>> ScratchLanes;
+  /// One packed-GEMM packing buffer per lane (MemoryPlan::PackScratchBytes
+  /// each): run-time B panels and im2col tiles.
+  std::vector<std::vector<float>> PackLanes;
+  /// Per-block engine counters, reused across runs (the context is
+  /// exclusive to one in-flight request, so no per-run allocation).
+  std::vector<EngineCounters> CounterScratch;
 };
 
 } // namespace dnnfusion

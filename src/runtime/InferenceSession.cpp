@@ -108,11 +108,18 @@ InferenceSession::runValidated(const std::vector<Tensor> &Inputs,
   // Started after acquire(): CumulativeWallMs is execution time, not time
   // spent blocked waiting for a context under a MaxContexts cap.
   WallTimer Timer;
-  std::vector<Tensor> Outputs = Ctx->run(Inputs, Stats);
+  // Stats are always collected so the session can record which engine
+  // paths (program vs tree-walk, packed vs naive, prepack hit/miss) the
+  // request's execution actually took.
+  ExecutionStats Local;
+  std::vector<Tensor> Outputs = Ctx->run(Inputs, &Local);
+  if (Stats)
+    *Stats = Local;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Metrics.RequestsServed;
     Metrics.CumulativeWallMs += Timer.millis();
+    Metrics.Engine.add(Local.Engine);
   }
   return Outputs;
 }

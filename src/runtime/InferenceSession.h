@@ -54,6 +54,11 @@ struct SessionMetrics {
   /// Total wall time spent executing served requests, in milliseconds.
   /// Under concurrent clients, the sum over requests (not elapsed time).
   double CumulativeWallMs = 0.0;
+  /// Execution-engine path counters summed over served requests:
+  /// compiled-program vs tree-walk expression steps, packed vs naive
+  /// Many-to-Many kernel calls, and prepack hits/misses — serving-side
+  /// observability of which paths requests actually took.
+  EngineCounters Engine;
 };
 
 /// Thread-safe serving wrapper around one compiled model.

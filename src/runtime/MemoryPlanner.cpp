@@ -9,11 +9,37 @@
 
 using namespace dnnfusion;
 
+int64_t
+dnnfusion::computePackScratchBytes(const Graph &G,
+                                   const std::vector<CompiledBlock> &Blocks,
+                                   const KernelConfig &Kernels) {
+  int64_t MaxElems = 0;
+  for (const CompiledBlock &B : Blocks) {
+    for (const CompiledStep &S : B.Steps) {
+      if (S.K != CompiledStep::Kind::RefKernel)
+        continue;
+      bool WeightIsConstant = false;
+      if (S.InputSlots.size() >= 2 &&
+          S.InputSlots[1] < static_cast<int>(B.ExternalInputs.size()))
+        WeightIsConstant =
+            G.node(B.ExternalInputs[static_cast<size_t>(S.InputSlots[1])])
+                .Kind == OpKind::Constant;
+      MaxElems = std::max(
+          MaxElems, detail::packScratchElemsForStep(
+                        S.Op, S.Attrs, S.InputShapes, S.OutShape, Kernels,
+                        WeightIsConstant));
+    }
+  }
+  return MaxElems * static_cast<int64_t>(sizeof(float));
+}
+
 MemoryPlan dnnfusion::planMemory(const Graph &G, const FusionPlan &Plan,
                                  const std::vector<CompiledBlock> &Blocks,
-                                 const BlockSchedule *Schedule) {
+                                 const BlockSchedule *Schedule,
+                                 const KernelConfig &Kernels) {
   MemoryPlan M;
   M.WavefrontSafe = Schedule != nullptr;
+  M.PackScratchBytes = computePackScratchBytes(G, Blocks, Kernels);
   size_t N = static_cast<size_t>(G.numNodes());
   M.ArenaOffsetOfNode.assign(N, -1);
   M.InputOffsetOfNode.assign(N, -1);

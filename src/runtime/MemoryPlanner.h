@@ -59,6 +59,11 @@ struct MemoryPlan {
 
   int64_t ArenaBytes = 0;   ///< Peak arena footprint.
   int64_t ScratchBytes = 0; ///< Largest per-block (= per-lane) scratch.
+  /// Largest per-step packing scratch (packed-GEMM B panels / im2col
+  /// tiles) any RefKernel step may need at run time; the execution context
+  /// provisions one buffer of this size per lane. Constant weights are
+  /// excluded (the prepack store serves them).
+  int64_t PackScratchBytes = 0;
   int64_t WeightBytes = 0;
   int64_t InputBytes = 0;
 
@@ -81,9 +86,22 @@ struct MemoryPlan {
 /// write overlapping arena ranges. Scratch stays the largest per-block
 /// requirement; concurrent execution gives each worker lane its own
 /// scratch buffer of that size rather than widening it here.
+/// \p Kernels sizes the per-lane packing scratch (PackScratchBytes) for
+/// the packed-GEMM engine; the default config matches the default
+/// execution path.
 MemoryPlan planMemory(const Graph &G, const FusionPlan &Plan,
                       const std::vector<CompiledBlock> &Blocks,
-                      const BlockSchedule *Schedule = nullptr);
+                      const BlockSchedule *Schedule = nullptr,
+                      const KernelConfig &Kernels = {});
+
+/// Packing-scratch bytes the packed-GEMM engine may need for any single
+/// RefKernel step of \p Blocks under \p Kernels (steps whose packed
+/// operand is a constant weight are excluded — the prepack store serves
+/// them). Shared by planMemory and the cache-hit path that re-adopts
+/// caller kernel knobs.
+int64_t computePackScratchBytes(const Graph &G,
+                                const std::vector<CompiledBlock> &Blocks,
+                                const KernelConfig &Kernels);
 
 } // namespace dnnfusion
 

@@ -8,7 +8,9 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 
 using namespace dnnfusion;
 
@@ -92,6 +94,75 @@ int dnnfusion::mergeMovementBlocks(const Graph &G, FusionPlan &Plan) {
 
 namespace {
 
+/// Packs every constant MatMul/Gemm weight operand once, recording the
+/// pack on the model and pointing the consuming steps at it. Deduplicates
+/// by (weight node, geometry) so shared weights pack a single time. Purely
+/// derived state: never serialized, rebuilt identically on loadModel and
+/// cache hits.
+void buildPrepack(CompiledModel &M, const Graph &G) {
+  M.Prepack.clear();
+  for (CompiledBlock &B : M.Blocks)
+    for (CompiledStep &S : B.Steps)
+      S.PrepackIndex = -1;
+  const KernelConfig &KC = M.Codegen.Kernels;
+  if (!KC.UsePackedGemm)
+    return;
+  int NR = clampPackNR(KC.PackNR);
+  std::map<std::tuple<NodeId, int64_t, int64_t, int>, int> Dedup;
+  for (CompiledBlock &B : M.Blocks) {
+    for (CompiledStep &S : B.Steps) {
+      if (S.K != CompiledStep::Kind::RefKernel ||
+          (S.Op != OpKind::MatMul && S.Op != OpKind::Gemm) ||
+          S.InputSlots.size() < 2)
+        continue;
+      int Slot = S.InputSlots[1];
+      if (Slot >= static_cast<int>(B.ExternalInputs.size()))
+        continue; // Block-internal producer: packed at run time.
+      NodeId WId = B.ExternalInputs[static_cast<size_t>(Slot)];
+      const Node &W = G.node(WId);
+      if (W.Kind != OpKind::Constant)
+        continue;
+      const Shape &BS = S.InputShapes[1];
+      int64_t K, N, KStride, NStride, Slices = 1;
+      int TB = 0;
+      if (S.Op == OpKind::Gemm) {
+        TB = S.Attrs.getInt("transB", 0) != 0 ? 1 : 0;
+        K = BS.dim(TB ? 1 : 0);
+        N = BS.dim(TB ? 0 : 1);
+        KStride = TB ? 1 : N;
+        NStride = TB ? K : 1;
+      } else {
+        int Rb = BS.rank();
+        K = BS.dim(Rb - 2);
+        N = BS.dim(Rb - 1);
+        KStride = N;
+        NStride = 1;
+        Slices = BS.numElements() / (K * N);
+      }
+      if (!packedGemmProfitable(/*M=*/0, N, K, NR, /*Prepacked=*/true))
+        continue; // The packed kernel declines these shapes.
+      auto Key = std::make_tuple(WId, K, N, TB);
+      auto It = Dedup.find(Key);
+      if (It == Dedup.end()) {
+        PackedOperand P;
+        P.K = K;
+        P.N = N;
+        P.NR = NR;
+        P.Slices = Slices;
+        P.Data.resize(static_cast<size_t>(P.sliceElems() * Slices));
+        for (int64_t Sl = 0; Sl < Slices; ++Sl)
+          packBPanels(W.ConstValue.data() + Sl * K * N, KStride, NStride, K,
+                      N, NR, P.Data.data() + Sl * P.sliceElems());
+        M.Prepack.push_back(std::move(P));
+        It = Dedup
+                 .emplace(Key, static_cast<int>(M.Prepack.size()) - 1)
+                 .first;
+      }
+      S.PrepackIndex = It->second;
+    }
+  }
+}
+
 /// Shared tail of compilation: schedule, codegen, memory planning, stat
 /// tables.
 void finishCompilation(CompiledModel &M, Graph &G, bool WavefrontSafe) {
@@ -99,11 +170,13 @@ void finishCompilation(CompiledModel &M, Graph &G, bool WavefrontSafe) {
   M.Blocks.reserve(M.Plan.Blocks.size());
   for (const FusionBlock &B : M.Plan.Blocks)
     M.Blocks.push_back(compileBlock(G, B, M.Codegen));
+  buildPrepack(M, G);
   M.CodegenMs = Timer.millis();
 
   M.Schedule = computeBlockSchedule(G, M.Plan);
   M.Memory = planMemory(G, M.Plan, M.Blocks,
-                        WavefrontSafe ? &M.Schedule : nullptr);
+                        WavefrontSafe ? &M.Schedule : nullptr,
+                        M.Codegen.Kernels);
 
   for (size_t BI = 0; BI < M.Plan.Blocks.size(); ++BI) {
     const FusionBlock &B = M.Plan.Blocks[BI];
@@ -197,6 +270,24 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
         CompilationCache(Options.CacheDir).lookup(CacheKey);
     if (Cached.ok()) {
       Cached->CacheHit = true;
+      // The execution-engine knobs are not part of the persisted artifact
+      // (they change neither plan nor graph, hence neither the cache key):
+      // adopt the caller's, and rebuild the derived prepack/scratch state
+      // only when they differ from the knobs the loader already built
+      // under (the defaults — engine knobs are not in the OPTS section).
+      Cached->Codegen.UseCompiledPrograms =
+          Options.Codegen.UseCompiledPrograms;
+      const KernelConfig &Want = Options.Codegen.Kernels;
+      const KernelConfig Loaded = Cached->Codegen.Kernels;
+      Cached->Codegen.Kernels = Want;
+      if (Want.UsePackedGemm != Loaded.UsePackedGemm ||
+          clampPackNR(Want.PackNR) != clampPackNR(Loaded.PackNR) ||
+          clampPackMR(Want.PackMR) != clampPackMR(Loaded.PackMR) ||
+          Want.PackColTile != Loaded.PackColTile) {
+        buildPrepack(*Cached, Cached->G);
+        Cached->Memory.PackScratchBytes =
+            computePackScratchBytes(Cached->G, Cached->Blocks, Want);
+      }
       return Cached;
     }
   }

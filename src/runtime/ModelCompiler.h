@@ -18,6 +18,7 @@
 #include "core/BlockCompiler.h"
 #include "core/FusionPlanner.h"
 #include "core/GraphRewriter.h"
+#include "ops/KernelsGemmPacked.h"
 #include "runtime/MemoryPlanner.h"
 #include "runtime/ModelSignature.h"
 #include "support/Status.h"
@@ -66,6 +67,11 @@ struct CompiledModel {
   std::vector<CompiledBlock> Blocks;
   MemoryPlan Memory;
   CodegenOptions Codegen;
+  /// Constant Many-to-Many weight operands packed once at compile time
+  /// (referenced by CompiledStep::PrepackIndex). Never serialized: rebuilt
+  /// deterministically on loadModel / cache hits, so the on-disk format is
+  /// unchanged.
+  std::vector<PackedOperand> Prepack;
 
   std::vector<NodeId> InputIds;
   /// Typed calling convention: named/shaped/dtyped inputs (InputIds order)

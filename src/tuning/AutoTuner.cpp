@@ -2,6 +2,7 @@
 
 #include "tuning/AutoTuner.h"
 
+#include "ops/KernelsGemmPacked.h"
 #include "support/Timer.h"
 #include "tensor/Tensor.h"
 #include "tensor/TensorUtils.h"
@@ -14,6 +15,8 @@ namespace {
 
 const int TileChoices[] = {8, 16, 32, 64, 128, 256};
 const int UnrollChoices[] = {1, 2, 4};
+const int PackMRChoices[] = {1, 2, 4, 6, 8};
+const int PackNRChoices[] = {4, 8, 16, 32};
 
 KernelConfig randomConfig(Rng &R) {
   KernelConfig C;
@@ -21,6 +24,8 @@ KernelConfig randomConfig(Rng &R) {
   C.TileN = TileChoices[R.nextBelow(6)];
   C.TileK = TileChoices[R.nextBelow(6)];
   C.UnrollM = UnrollChoices[R.nextBelow(3)];
+  C.PackMR = PackMRChoices[R.nextBelow(5)];
+  C.PackNR = PackNRChoices[R.nextBelow(4)];
   return C;
 }
 
@@ -30,6 +35,8 @@ KernelConfig crossover(const KernelConfig &A, const KernelConfig &B, Rng &R) {
   C.TileN = R.nextBool() ? A.TileN : B.TileN;
   C.TileK = R.nextBool() ? A.TileK : B.TileK;
   C.UnrollM = R.nextBool() ? A.UnrollM : B.UnrollM;
+  C.PackMR = R.nextBool() ? A.PackMR : B.PackMR;
+  C.PackNR = R.nextBool() ? A.PackNR : B.PackNR;
   return C;
 }
 
@@ -42,6 +49,10 @@ void mutate(KernelConfig &C, float Rate, Rng &R) {
     C.TileK = TileChoices[R.nextBelow(6)];
   if (R.nextBool(Rate))
     C.UnrollM = UnrollChoices[R.nextBelow(3)];
+  if (R.nextBool(Rate))
+    C.PackMR = PackMRChoices[R.nextBelow(5)];
+  if (R.nextBool(Rate))
+    C.PackNR = PackNRChoices[R.nextBelow(4)];
 }
 
 } // namespace
@@ -55,11 +66,23 @@ TuneResult dnnfusion::tuneMatmul(int64_t M, int64_t N, int64_t K,
   fillRandom(B, R);
 
   TuneResult Result;
+  std::vector<float> Packed;
   auto Measure = [&](const KernelConfig &Config) {
     double Best = 0.0;
+    int NR = clampPackNR(Config.PackNR);
+    if (Options.TunePacked) {
+      // The serving hot path keeps constant weights prepacked, so packing
+      // stays outside the timed region.
+      Packed.resize(static_cast<size_t>(packedPanelElems(K, N, NR)));
+      packBPanels(B.data(), N, 1, K, N, NR, Packed.data());
+    }
     for (int I = 0; I < Options.MeasureRepeats; ++I) {
       WallTimer T;
-      matmulTiled(A.data(), B.data(), C.data(), M, N, K, Config);
+      if (Options.TunePacked)
+        gemmPackedRows(A.data(), K, 1, Packed.data(), C.data(), N, 0, M, N,
+                       K, clampPackMR(Config.PackMR), NR, nullptr);
+      else
+        matmulTiled(A.data(), B.data(), C.data(), M, N, K, Config);
       double Ms = T.millis();
       if (I == 0 || Ms < Best)
         Best = Ms;

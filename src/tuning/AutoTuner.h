@@ -38,9 +38,16 @@ struct TuneOptions {
   float MutationRate = 0.3f;
   int MeasureRepeats = 2;
   uint64_t Seed = 7;
+  /// Measure the packed register-blocked engine (PackMR/PackNR genes; the
+  /// serving hot path, weights prepacked outside the timer). False =
+  /// measure the legacy matmulTiled kernel (TileM/N/K + UnrollM genes).
+  bool TunePacked = true;
 };
 
-/// Tunes matmulTiled for a [M,K] x [K,N] problem.
+/// Tunes the GEMM kernel for a [M,K] x [K,N] problem: the packed engine's
+/// blocking parameters by default, the legacy tiled kernel's tile sizes
+/// when Options.TunePacked is false. The search space always spans all
+/// six genes so one tuned KernelConfig can serve both kernels.
 TuneResult tuneMatmul(int64_t M, int64_t N, int64_t K,
                       const TuneOptions &Options = {});
 

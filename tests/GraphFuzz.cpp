@@ -959,6 +959,25 @@ const std::vector<DiffConfig> &defaultConfigMatrix() {
       C.Threads = 1;
       M.push_back(C);
     }
+    {
+      // Engine dimension, program-vs-treewalk: same full pipeline with
+      // expression steps interpreted by the legacy tree-walk instead of
+      // the compiled DFT program. Must be bit-identical to "full".
+      DiffConfig C;
+      C.Name = "treewalk";
+      C.Options.Codegen.UseCompiledPrograms = false;
+      M.push_back(C);
+    }
+    {
+      // Engine dimension, packed-vs-naive: same full pipeline with the
+      // Many-to-Many kernels pinned to the naive loops instead of the
+      // packed register-blocked engine. Must be bit-identical to "full"
+      // (same per-element k-order accumulation).
+      DiffConfig C;
+      C.Name = "naive-gemm";
+      C.Options.Codegen.Kernels.UsePackedGemm = false;
+      M.push_back(C);
+    }
     return M;
   }();
   return Matrix;
@@ -1043,12 +1062,28 @@ runDifferential(const FuzzSpec &Spec, const std::vector<DiffConfig> &Configs,
       return DiffFailure{Config.Name, *Diff};
     ByName.emplace(Config.Name, std::move(Opt));
   }
+  // Dimensions that must match "full" bit-for-bit, not just within
+  // tolerance: thread count (deterministic slicing), engine path
+  // (program vs tree-walk), and kernel path (packed vs naive).
   auto Full = ByName.find("full");
-  auto Full1 = ByName.find("full-t1");
-  if (Full != ByName.end() && Full1 != ByName.end())
-    if (std::optional<std::string> Diff =
-            compareOutputs(Full->second, Full1->second, 0.0f, 0.0f))
-      return DiffFailure{"full vs full-t1 (thread determinism)", *Diff};
+  if (Full != ByName.end()) {
+    const struct {
+      const char *Name;
+      const char *Label;
+    } BitIdentical[] = {
+        {"full-t1", "full vs full-t1 (thread determinism)"},
+        {"treewalk", "full vs treewalk (program engine bit-identity)"},
+        {"naive-gemm", "full vs naive-gemm (packed kernel bit-identity)"},
+    };
+    for (const auto &Pair : BitIdentical) {
+      auto Other = ByName.find(Pair.Name);
+      if (Other == ByName.end())
+        continue;
+      if (std::optional<std::string> Diff =
+              compareOutputs(Full->second, Other->second, 0.0f, 0.0f))
+        return DiffFailure{Pair.Label, *Diff};
+    }
+  }
   return std::nullopt;
 }
 
