@@ -2,11 +2,14 @@
 
 #include "core/BlockCompiler.h"
 
+#include "core/TransformerPatterns.h"
+#include "ops/KernelsAttention.h"
 #include "ops/KernelsGemmPacked.h"
 #include "ops/OpSchema.h"
 #include "support/Error.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 using namespace dnnfusion;
@@ -224,6 +227,123 @@ struct Builder {
     Out.Steps.push_back(std::move(Step));
   }
 
+  /// Emits the whole block as one FusedAttention / FusedLayerNorm step
+  /// when its member set is exactly a matched transformer subgraph and the
+  /// corresponding toggle is on. Returns false to fall through to the
+  /// generic (reference) step sequence.
+  /// Registers every external producer the plan records for this block,
+  /// so the compiled block's external-slot list matches the plan's even
+  /// when the fused kernel reads only a subset (e.g. the scale scalar is
+  /// baked into the step attrs and the causal mask into the kernel).
+  void bindRemainingExternals() {
+    for (NodeId Id : Block.Members)
+      for (NodeId In : G.node(Id).Inputs)
+        if (!InBlock[static_cast<size_t>(In)])
+          externalSlot(In);
+  }
+
+  bool tryEmitFusedBlock(const std::vector<std::vector<NodeId>> &Consumers) {
+    if (Block.Outputs.size() != 1)
+      return false;
+    if (Opt.FuseAttention) {
+      if (std::optional<AttentionMatch> M =
+              matchAttentionBlock(G, Consumers, Block.Members)) {
+        if (M->Root != Block.Outputs[0])
+          return false;
+        CompiledStep Step;
+        Step.K = CompiledStep::Kind::FusedAttention;
+        Step.Origin = M->Root;
+        Step.Op = OpKind::MatMul;
+        Step.OutShape = G.node(M->Root).OutShape;
+        Step.Attrs.set("scale", static_cast<double>(M->Scale));
+        Step.Attrs.set("causal", static_cast<int64_t>(M->Causal ? 1 : 0));
+        std::vector<NodeId> Operands = {M->QNode, M->KtNode, M->VNode};
+        // The causal variant skips future keys outright; the mask tensor
+        // is only bound (and read) for non-causal additive masks.
+        if (M->MaskNode != InvalidNodeId && !M->Causal)
+          Operands.push_back(M->MaskNode);
+        for (NodeId In : Operands) {
+          Step.InputSlots.push_back(externalSlot(In));
+          Step.InputShapes.push_back(G.node(In).OutShape);
+        }
+        Step.OutputSlot = localSlot(M->Root, /*IsBlockOutput=*/true);
+        Out.Steps.push_back(std::move(Step));
+        return true;
+      }
+    }
+    if (Opt.FuseNorm) {
+      if (std::optional<LayerNormMatch> M =
+              matchLayerNormBlock(G, Consumers, Block.Members)) {
+        if (M->Root != Block.Outputs[0])
+          return false;
+        CompiledStep Step;
+        Step.K = CompiledStep::Kind::FusedLayerNorm;
+        Step.Origin = M->Root;
+        Step.Op = OpKind::Add;
+        Step.OutShape = G.node(M->Root).OutShape;
+        Step.Attrs.set("epsilon", static_cast<double>(M->Eps));
+        for (NodeId In : {M->XNode, M->GammaNode, M->BetaNode}) {
+          Step.InputSlots.push_back(externalSlot(In));
+          Step.InputShapes.push_back(G.node(In).OutShape);
+        }
+        Step.OutputSlot = localSlot(M->Root, /*IsBlockOutput=*/true);
+        Out.Steps.push_back(std::move(Step));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when every Leaf of \p T whose slot is in \p IsChainSlot is read
+  /// through an identity index mapping (no folded movement, no broadcast,
+  /// no Concat routing anywhere on its root path). Such leaves read output
+  /// element i of an earlier chain step exactly at flat index i, which is
+  /// what makes per-row-range epilogue evaluation safe.
+  static bool chainLeavesIdentity(const DftTree &T,
+                                  const std::vector<char> &IsChainSlot) {
+    std::function<bool(int, bool)> Visit = [&](int Idx,
+                                               bool Identity) -> bool {
+      const DftNode &N = T.Nodes[static_cast<size_t>(Idx)];
+      if (N.K == DftNode::Kind::Leaf)
+        return Identity || N.BufferSlot < 0 ||
+               !IsChainSlot[static_cast<size_t>(N.BufferSlot)];
+      bool Routed = N.K == DftNode::Kind::Router;
+      for (const DftEdge &E : N.Children)
+        if (!Visit(E.Child, Identity && !Routed && chainIsIdentity(E.Maps)))
+          return false;
+      return true;
+    };
+    return T.Root >= 0 && Visit(T.Root, true);
+  }
+
+  /// Marks each MatMul/Gemm RefKernel step with the length of the run of
+  /// immediately following Expression steps that qualify as fused
+  /// epilogues: same output shape as the GEMM, and reading the GEMM result
+  /// (or an earlier epilogue of the same run) only through identity
+  /// leaves. Annotation only — executeBlock folds the run into the
+  /// kernel's row loop iff CodegenOptions::FuseGemmEpilogue is on.
+  void annotateEpilogues() {
+    for (size_t I = 0; I < Out.Steps.size(); ++I) {
+      CompiledStep &K = Out.Steps[I];
+      if (K.K != CompiledStep::Kind::RefKernel ||
+          (K.Op != OpKind::MatMul && K.Op != OpKind::Gemm))
+        continue;
+      std::vector<char> ChainSlot(static_cast<size_t>(Out.numSlots()), 0);
+      ChainSlot[static_cast<size_t>(K.OutputSlot)] = 1;
+      int Run = 0;
+      for (size_t J = I + 1; J < Out.Steps.size(); ++J) {
+        const CompiledStep &E = Out.Steps[J];
+        if (E.K != CompiledStep::Kind::Expression ||
+            !(E.OutShape == K.OutShape) || E.Program.empty() ||
+            !chainLeavesIdentity(E.Tree, ChainSlot))
+          break;
+        ChainSlot[static_cast<size_t>(E.OutputSlot)] = 1;
+        ++Run;
+      }
+      K.EpilogueSteps = Run;
+    }
+  }
+
   /// Renumbers pending local slots to follow the final external count.
   void finalizeSlots() {
     int Shift =
@@ -248,6 +368,13 @@ struct Builder {
 
     // Internal-consumer counts drive CSE materialization.
     std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+
+    // Whole-block transformer patterns compile to one fused step.
+    if ((Opt.FuseAttention || Opt.FuseNorm) && tryEmitFusedBlock(Consumers)) {
+      bindRemainingExternals();
+      finalizeSlots();
+      return std::move(Out);
+    }
     for (NodeId Id : Block.Members) {
       int InternalUses = 0;
       for (NodeId User : Consumers[static_cast<size_t>(Id)])
@@ -296,6 +423,8 @@ struct Builder {
       if (Step.K == CompiledStep::Kind::Expression)
         Step.Program = DftProgram::compile(Step.Tree);
 
+    annotateEpilogues();
+
     return std::move(Out);
   }
 };
@@ -320,7 +449,8 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
   for (size_t I = 0; I < Io.LocalPtrs.size(); ++I)
     Slots[Io.Externals.size() + I] = Io.LocalPtrs[I];
 
-  for (const CompiledStep &Step : Block.Steps) {
+  for (size_t SI = 0; SI < Block.Steps.size(); ++SI) {
+    const CompiledStep &Step = Block.Steps[SI];
     float *OutPtr = Io.LocalPtrs[static_cast<size_t>(Step.OutputSlot) -
                                  Io.Externals.size()];
     if (Step.K == CompiledStep::Kind::Expression) {
@@ -333,6 +463,37 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
           ++Rt.Counters->TreeWalkSteps;
         Step.Tree.evaluate(Slots, OutPtr, Options.ChunkSize);
       }
+      continue;
+    }
+    if (Step.K == CompiledStep::Kind::FusedAttention) {
+      const Shape &QS = Step.InputShapes[0];
+      int Rank = QS.rank();
+      int64_t S = QS.dim(Rank - 2), Dh = QS.dim(Rank - 1);
+      int64_t Batches = QS.numElements() / (S * Dh);
+      const float *Mask =
+          Step.InputSlots.size() > 3
+              ? Slots[static_cast<size_t>(Step.InputSlots[3])]
+              : nullptr;
+      runFusedAttention(
+          Slots[static_cast<size_t>(Step.InputSlots[0])],
+          Slots[static_cast<size_t>(Step.InputSlots[1])],
+          Slots[static_cast<size_t>(Step.InputSlots[2])], Mask,
+          /*MaskBatchStride=*/0,
+          static_cast<float>(Step.Attrs.getFloat("scale", 1.0)),
+          Step.Attrs.getInt("causal", 0) != 0, OutPtr, Batches, S, Dh,
+          Rt.Counters);
+      continue;
+    }
+    if (Step.K == CompiledStep::Kind::FusedLayerNorm) {
+      const Shape &XS = Step.InputShapes[0];
+      int64_t H = XS.dim(XS.rank() - 1);
+      int64_t Rows = XS.numElements() / H;
+      runFusedLayerNorm(
+          Slots[static_cast<size_t>(Step.InputSlots[0])],
+          Slots[static_cast<size_t>(Step.InputSlots[1])],
+          Slots[static_cast<size_t>(Step.InputSlots[2])],
+          static_cast<float>(Step.Attrs.getFloat("epsilon", 1e-5)), OutPtr,
+          Rows, H, Rt.Counters);
       continue;
     }
     // RefKernel step.
@@ -352,6 +513,29 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
     KRt.PackScratch = Rt.PackScratch;
     KRt.PackScratchElems = Rt.PackScratchElems;
     KRt.Counters = Rt.Counters;
+
+    // Fold the annotated epilogue run into the GEMM's row loop: each
+    // worker evaluates the epilogue tapes over exactly the flat output
+    // range it just produced. Identity-leaf annotation (see
+    // annotateEpilogues) guarantees every chain read stays inside that
+    // range, so concurrent workers never touch each other's rows.
+    int Folded = Options.FuseGemmEpilogue ? Step.EpilogueSteps : 0;
+    std::function<void(int64_t, int64_t)> Epilogue;
+    if (Folded > 0) {
+      Epilogue = [&Block, &Io, &Slots, &Options, SI, Folded](int64_t Begin,
+                                                             int64_t End) {
+        for (int E = 1; E <= Folded; ++E) {
+          const CompiledStep &ES = Block.Steps[SI + static_cast<size_t>(E)];
+          float *EOut = Io.LocalPtrs[static_cast<size_t>(ES.OutputSlot) -
+                                     Io.Externals.size()];
+          ES.Program.executeRange(Slots, EOut, Begin, End, Options.ChunkSize);
+        }
+      };
+      KRt.Epilogue = &Epilogue;
+      if (Rt.Counters)
+        Rt.Counters->GemmEpilogueSteps += Folded;
+    }
     runRefKernel(Step.Op, Step.Attrs, Inputs, OutView, Options.Kernels, KRt);
+    SI += static_cast<size_t>(Folded);
   }
 }

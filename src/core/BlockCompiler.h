@@ -53,6 +53,31 @@ struct CodegenOptions {
   /// one. Tapes are always lowered at compileBlock time so the toggle can
   /// flip per execution without recompiling.
   bool UseCompiledPrograms = true;
+  /// Run elementwise expression steps that follow a MatMul/Gemm step and
+  /// read it row-contiguously as epilogues inside the GEMM's parallel row
+  /// loop (no extra memory pass over the intermediate). Bit-identical to
+  /// the unfused step sequence — chunk partitioning never changes values —
+  /// so like UseCompiledPrograms this is an engine knob, flippable per
+  /// execution without recompiling (compileBlock always annotates the
+  /// foldable runs). Epilogues always execute through the compiled tape,
+  /// even under UseCompiledPrograms = false.
+  bool FuseGemmEpilogue = true;
+  /// Compile fusion blocks that exactly cover a matched attention
+  /// subgraph (QK^T -> scale -> mask -> Softmax -> V) into one
+  /// single-pass online-softmax step (ops/KernelsAttention). The online
+  /// rescaling reorders the softmax accumulation, so this is the repo's
+  /// one deliberate bit-identity relaxation: fused-vs-unfused outputs
+  /// agree to ~1e-6 relative, enforced under tolerance by the fuzz matrix
+  /// and the zoo tests. Also gates the plan-level carving of attention
+  /// groups in compileModel; a plan carved with the toggle on still
+  /// compiles (to ordinary unfused steps) when it is off.
+  bool FuseAttention = true;
+  /// Compile fusion blocks exactly covering a decomposed LayerNorm
+  /// (mean/var/normalize/affine, as built by graph/GraphBuilder) into one
+  /// three-pass fused step. Same scalar operations in the same order as
+  /// the decomposed expression evaluation — bit-identical. Gates the
+  /// plan-level carving of layernorm groups like FuseAttention.
+  bool FuseNorm = true;
   /// Tunables of the Many-to-Many kernels executed by RefKernel steps
   /// (packed-GEMM engine switches and blocking parameters).
   KernelConfig Kernels;
@@ -60,16 +85,33 @@ struct CodegenOptions {
 
 /// One step of a compiled block.
 struct CompiledStep {
-  enum class Kind { RefKernel, Expression };
+  enum class Kind {
+    RefKernel,
+    Expression,
+    /// Single-pass online-softmax attention over InputSlots {Q, Kt, V
+    /// [, additive mask]} (ops/KernelsAttention). Attrs: "scale" (float),
+    /// "causal" (int 0/1).
+    FusedAttention,
+    /// Fused LayerNorm over InputSlots {X, Gamma, Beta}. Attrs: "epsilon"
+    /// (float).
+    FusedLayerNorm,
+  };
   Kind K = Kind::Expression;
   /// Graph node this step computes.
   NodeId Origin = InvalidNodeId;
 
-  // RefKernel.
+  // RefKernel / FusedAttention / FusedLayerNorm.
   OpKind Op = OpKind::Identity;
   AttrMap Attrs;
   std::vector<int> InputSlots;
   std::vector<Shape> InputShapes;
+
+  /// RefKernel MatMul/Gemm only: the next EpilogueSteps Expression steps
+  /// of the block are elementwise epilogues of this GEMM — same output
+  /// domain, reading the GEMM result (and each other) only through
+  /// identity-chain leaves — and may execute inside the kernel's row loop
+  /// when CodegenOptions::FuseGemmEpilogue is on.
+  int EpilogueSteps = 0;
 
   // Expression.
   DftTree Tree;

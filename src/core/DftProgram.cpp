@@ -81,6 +81,32 @@ struct Lowering {
         int ChildSet = Set;
         bool ChildContig = Contig;
         if (!chainIsIdentity(E.Maps)) {
+          // Broadcast fast paths: a mapped *leaf* whose chain collapses
+          // to a fixed index (scalar splat) or a periodic row (bias) skips
+          // the MapIndices + LoadGather pair entirely. Same loads, same
+          // values — a pure instruction-selection change.
+          const DftNode &Child = T.Nodes[static_cast<size_t>(E.Child)];
+          if (Child.K == DftNode::Kind::Leaf) {
+            std::optional<int64_t> Splat = chainConstantIndex(E.Maps);
+            std::optional<std::pair<int64_t, int64_t>> Periodic;
+            if (!Splat)
+              Periodic = chainPeriodicRow(E.Maps);
+            if (Splat || (Periodic && Contig)) {
+              DftInstr L;
+              L.K = Splat ? DftInstr::Kind::LoadSplat
+                          : DftInstr::Kind::LoadPeriodic;
+              L.Origin = Child.Origin;
+              L.Dst = allocReg();
+              L.Ctx = Set;
+              L.CtxContig = Contig;
+              L.Slot = Child.BufferSlot;
+              L.MapBase = Splat ? *Splat : Periodic->first;
+              L.MapPeriod = Splat ? 0 : Periodic->second;
+              P.Instrs.push_back(std::move(L));
+              Refs[C] = ValueRef{false, P.Instrs.back().Dst};
+              continue;
+            }
+          }
           DftInstr M;
           M.K = DftInstr::Kind::MapIndices;
           M.Origin = N.Origin;
@@ -264,6 +290,33 @@ void runChunk(const DftProgram &P, const std::vector<const float *> &Slots,
       break;
     }
 
+    case DftInstr::Kind::LoadSplat: {
+      int Cnt = I.CtxContig ? Count : S.Counts[static_cast<size_t>(I.Ctx)];
+      float V = Slots[static_cast<size_t>(I.Slot)][I.MapBase];
+      float *__restrict Dst =
+          I.Dst == DftProgram::OutputReg ? Out : S.reg(I.Dst);
+      for (int E = 0; E < Cnt; ++E)
+        Dst[E] = V;
+      break;
+    }
+
+    case DftInstr::Kind::LoadPeriodic: {
+      // Lowering only emits this for contiguous contexts: the source
+      // indices for [Base, Base + Count) are period-aligned runs.
+      const float *Src = Slots[static_cast<size_t>(I.Slot)] + I.MapBase;
+      float *Dst = I.Dst == DftProgram::OutputReg ? Out : S.reg(I.Dst);
+      int64_t Off = Base % I.MapPeriod;
+      for (int E = 0; E < Count;) {
+        int Run = static_cast<int>(
+            std::min<int64_t>(Count - E, I.MapPeriod - Off));
+        std::memcpy(Dst + E, Src + Off,
+                    static_cast<size_t>(Run) * sizeof(float));
+        E += Run;
+        Off = 0;
+      }
+      break;
+    }
+
     case DftInstr::Kind::Eltwise: {
       int Cnt = I.CtxContig ? Count : S.Counts[static_cast<size_t>(I.Ctx)];
       const float *Args[DftEltwiseMaxArity];
@@ -343,6 +396,23 @@ void DftProgram::execute(const std::vector<const float *> &Slots, float *Out,
   });
 }
 
+void DftProgram::executeRange(const std::vector<const float *> &Slots,
+                              float *Out, int64_t Begin, int64_t End,
+                              int ChunkSize) const {
+  DNNF_CHECK(ChunkSize > 0 && ChunkSize <= DftMaxChunk,
+             "chunk size %d out of range", ChunkSize);
+  DNNF_CHECK(Begin >= 0 && End <= OutElems && Begin <= End,
+             "range [%lld, %lld) outside [0, %lld)",
+             static_cast<long long>(Begin), static_cast<long long>(End),
+             static_cast<long long>(OutElems));
+  ChunkState State(*this);
+  for (int64_t Base = Begin; Base < End; Base += ChunkSize) {
+    int Count =
+        static_cast<int>(Base + ChunkSize <= End ? ChunkSize : End - Base);
+    runChunk(*this, Slots, Base, Count, Out + Base, State);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Introspection
 //===----------------------------------------------------------------------===//
@@ -362,6 +432,17 @@ std::string DftProgram::describe() const {
     case DftInstr::Kind::LoadGather:
       Text += formatString("%s = load.gather buf%d[ix%d]\n",
                            RegName(I.Dst).c_str(), I.Slot, I.Ctx);
+      break;
+    case DftInstr::Kind::LoadSplat:
+      Text += formatString("%s = load.splat buf%d[%lld]\n",
+                           RegName(I.Dst).c_str(), I.Slot,
+                           static_cast<long long>(I.MapBase));
+      break;
+    case DftInstr::Kind::LoadPeriodic:
+      Text += formatString("%s = load.periodic buf%d[%lld + i %% %lld]\n",
+                           RegName(I.Dst).c_str(), I.Slot,
+                           static_cast<long long>(I.MapBase),
+                           static_cast<long long>(I.MapPeriod));
       break;
     case DftInstr::Kind::Eltwise: {
       std::vector<std::string> Args;

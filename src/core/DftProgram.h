@@ -52,6 +52,15 @@ struct DftInstr {
     MapIndices,
     /// Reg[Dst][i] = Slots[Slot][IdxSet[Ctx].Idx[i]] — a gathered leaf.
     LoadGather,
+    /// Reg[Dst][i] = Slots[Slot][MapBase] — a leaf whose edge chain maps
+    /// every index to one fixed element (broadcast scalar). Replaces a
+    /// MapIndices + LoadGather pair with a register fill.
+    LoadSplat,
+    /// Reg[Dst][i] = Slots[Slot][MapBase + (Base + i) % MapPeriod] — a
+    /// leaf whose edge chain is a right-aligned rank-1 broadcast (GEMM
+    /// bias, per-channel row parameter). Contiguous chunks only; executes
+    /// as period-aligned memcpy runs instead of per-element gathers.
+    LoadPeriodic,
     /// Reg[Dst] = EOp(Args...) over IdxSet[Ctx]'s count. Slot arguments
     /// are zero-copy pointers into a buffer (contiguous sets only).
     Eltwise,
@@ -82,9 +91,13 @@ struct DftInstr {
   /// True when Ctx/Src is the implicit contiguous set 0.
   bool CtxContig = true;
 
-  int Slot = -1;  ///< Buffer slot (LoadGather).
+  int Slot = -1;  ///< Buffer slot (LoadGather, LoadSplat, LoadPeriodic).
   int Src = 0;    ///< Source index set (MapIndices, RouterSplit).
   int Chain = -1; ///< Index of the chain in DftProgram::Chains.
+  /// Fixed element index (LoadSplat) or period base offset (LoadPeriodic).
+  int64_t MapBase = 0;
+  /// Broadcast period in elements (LoadPeriodic).
+  int64_t MapPeriod = 0;
 
   // Eltwise.
   OpKind EOp = OpKind::Identity;
@@ -125,6 +138,17 @@ public:
   /// the same deterministic slicing as DftTree::evaluate.
   void execute(const std::vector<const float *> &Slots, float *Out,
                int ChunkSize) const;
+
+  /// Evaluates output flat indices [Begin, End) only, on the calling
+  /// thread (no internal parallelism). \p Out is the full output base
+  /// pointer — element i lands at Out[i], exactly as under execute().
+  /// Chunk partitioning never changes values (every instruction is
+  /// per-element within its chunk), so covering [0, OutElems) with any
+  /// disjoint set of executeRange calls is bit-identical to execute().
+  /// This is the GEMM-epilogue entry point: the producing kernel calls it
+  /// per completed row range from inside its own parallel loop.
+  void executeRange(const std::vector<const float *> &Slots, float *Out,
+                    int64_t Begin, int64_t End, int ChunkSize) const;
 
   /// One line per instruction (CodeEmitter's tape audit).
   std::string describe() const;

@@ -174,7 +174,10 @@ LatencyOracle::~LatencyOracle() = default;
 double CostModelOracle::blockLatencyMs(const Graph &G,
                                        const std::vector<NodeId> &Members) {
   std::set<NodeId> InBlock(Members.begin(), Members.end());
-  std::vector<std::vector<NodeId>> Consumers = G.computeConsumers();
+  if (ConsumersFor != &G) {
+    Consumers = G.computeConsumers();
+    ConsumersFor = &G;
+  }
 
   int64_t Flops = 0;
   int64_t ExternalBytes = 0;

@@ -128,11 +128,18 @@ public:
   CostModelOracle() = default;
   explicit CostModelOracle(const Params &P) : P(P) {}
 
+  /// The planner issues thousands of queries per run against the same
+  /// (const) graph, so the consumer adjacency is computed once per graph
+  /// and memoized. A caller that mutates the graph between queries must
+  /// use a fresh oracle.
   double blockLatencyMs(const Graph &G,
                         const std::vector<NodeId> &Members) override;
 
 private:
   Params P;
+  /// Memoized consumer adjacency (see blockLatencyMs).
+  const Graph *ConsumersFor = nullptr;
+  std::vector<std::vector<NodeId>> Consumers;
 };
 
 } // namespace dnnfusion

@@ -27,13 +27,43 @@ struct Planner {
   /// DFS stamp buffer for cycle queries.
   std::vector<int> Stamp;
   int CurrentStamp = 0;
+  /// Topological position per live node. Edges always point from a lower
+  /// position to a higher one, so a backward cycle query strictly decreases
+  /// position and a forward one strictly increases it — anything outside
+  /// the queried block's position span can be pruned without changing the
+  /// answer. This bounds each query to the block's neighborhood instead of
+  /// the whole graph (the planner was superlinear on 3000-layer models).
+  std::vector<int> Pos;
+  /// Position span of each block's members, maintained on assignment.
+  std::vector<int> BlockMinPos, BlockMaxPos;
 
   Planner(const Graph &G, const Ecg &E, LatencyOracle &Oracle,
           const PlannerOptions &Opt, PlannerStats &Stats)
       : G(G), E(E), Oracle(Oracle), Opt(Opt), Stats(Stats),
         Consumers(G.computeConsumers()),
         Assigned(static_cast<size_t>(G.numNodes()), -1),
-        Stamp(static_cast<size_t>(G.numNodes()), 0) {}
+        Stamp(static_cast<size_t>(G.numNodes()), 0),
+        Pos(static_cast<size_t>(G.numNodes()), -1) {
+    std::vector<NodeId> Order = G.topologicalOrder();
+    for (size_t I = 0; I < Order.size(); ++I)
+      Pos[static_cast<size_t>(Order[I])] = static_cast<int>(I);
+  }
+
+  /// Assigns \p Id to \p Block and widens the block's position span.
+  void assign(NodeId Id, int Block) {
+    Assigned[static_cast<size_t>(Id)] = Block;
+    if (Block >= static_cast<int>(BlockMinPos.size())) {
+      BlockMinPos.resize(static_cast<size_t>(Block) + 1,
+                         std::numeric_limits<int>::max());
+      BlockMaxPos.resize(static_cast<size_t>(Block) + 1,
+                         std::numeric_limits<int>::min());
+    }
+    int P = Pos[static_cast<size_t>(Id)];
+    BlockMinPos[static_cast<size_t>(Block)] =
+        std::min(BlockMinPos[static_cast<size_t>(Block)], P);
+    BlockMaxPos[static_cast<size_t>(Block)] =
+        std::max(BlockMaxPos[static_cast<size_t>(Block)], P);
+  }
 
   bool isOperator(NodeId Id) const {
     const Node &N = G.node(Id);
@@ -47,6 +77,7 @@ struct Planner {
   /// True when a member of \p Block can reach \p From by following inputs
   /// backward (i.e. \p From transitively depends on the block).
   bool dependsOnBlock(NodeId From, int Block) {
+    int MinPos = BlockMinPos[static_cast<size_t>(Block)];
     ++CurrentStamp;
     std::vector<NodeId> Stack = {From};
     while (!Stack.empty()) {
@@ -55,6 +86,10 @@ struct Planner {
       if (Stamp[static_cast<size_t>(Id)] == CurrentStamp)
         continue;
       Stamp[static_cast<size_t>(Id)] = CurrentStamp;
+      // Everything backward-reachable from here sits at a strictly smaller
+      // position; below the block's lowest member nothing can match.
+      if (Pos[static_cast<size_t>(Id)] < MinPos)
+        continue;
       if (inBlock(Id, Block))
         return true;
       for (NodeId In : G.node(Id).Inputs)
@@ -66,6 +101,7 @@ struct Planner {
   /// True when \p From can reach a member of \p Block by following
   /// consumers forward (i.e. the block transitively depends on \p From).
   bool blockDependsOn(NodeId From, int Block) {
+    int MaxPos = BlockMaxPos[static_cast<size_t>(Block)];
     ++CurrentStamp;
     std::vector<NodeId> Stack = {From};
     while (!Stack.empty()) {
@@ -74,6 +110,10 @@ struct Planner {
       if (Stamp[static_cast<size_t>(Id)] == CurrentStamp)
         continue;
       Stamp[static_cast<size_t>(Id)] = CurrentStamp;
+      // Forward reachability strictly increases position; above the
+      // block's highest member nothing can match.
+      if (Pos[static_cast<size_t>(Id)] > MaxPos)
+        continue;
       if (inBlock(Id, Block))
         return true;
       for (NodeId User : Consumers[static_cast<size_t>(Id)])
@@ -172,7 +212,7 @@ struct Planner {
       ++Stats.GreenFusions;
     }
     Members.push_back(Candidate);
-    Assigned[static_cast<size_t>(Candidate)] = Block;
+    assign(Candidate, Block);
     Type = AsSuccessor ? fusedMappingType(Type, CandType)
                        : fusedMappingType(CandType, Type);
     return true;
@@ -399,7 +439,7 @@ FusionPlan dnnfusion::planFusion(const Graph &G, LatencyOracle *Oracle,
     }
     int Block = static_cast<int>(Groups.size());
     std::vector<NodeId> Members = {Seed};
-    P.Assigned[static_cast<size_t>(Seed)] = Block;
+    P.assign(Seed, Block);
     MappingType Type = E.mappingType(Seed);
     ++Stats.SeedsUsed;
     // Listing 1 presents successors first but notes Steps II and III "can

@@ -121,6 +121,27 @@ void IndexMap::mapContiguous(int64_t Base, int64_t *Out, int64_t Count) const {
   }
 }
 
+std::optional<int64_t> IndexMap::constantIndex() const {
+  if (K != Kind::Affine)
+    return std::nullopt;
+  for (int64_t S : Strides)
+    if (S != 0)
+      return std::nullopt;
+  return Base;
+}
+
+std::optional<std::pair<int64_t, int64_t>> IndexMap::periodicRow() const {
+  if (K != Kind::Affine || Domain.rank() < 1)
+    return std::nullopt;
+  int Rank = Domain.rank();
+  for (int D = 0; D < Rank - 1; ++D)
+    if (Strides[static_cast<size_t>(D)] != 0)
+      return std::nullopt;
+  if (Strides[static_cast<size_t>(Rank - 1)] != 1)
+    return std::nullopt;
+  return std::make_pair(Base, Domain.dim(Rank - 1));
+}
+
 std::string IndexMap::describe() const {
   switch (K) {
   case Kind::Identity:
@@ -147,6 +168,35 @@ bool dnnfusion::chainIsIdentity(const IndexChain &Chain) {
     if (!M.isIdentity())
       return false;
   return true;
+}
+
+std::optional<int64_t> dnnfusion::chainConstantIndex(const IndexChain &Chain) {
+  // The first constant map (in application order) pins the index; maps
+  // before it are irrelevant, maps after it fold by single-index
+  // evaluation.
+  for (size_t I = 0; I < Chain.size(); ++I)
+    if (std::optional<int64_t> C = Chain[I].constantIndex()) {
+      int64_t V = *C;
+      for (size_t M = I + 1; M < Chain.size(); ++M)
+        V = Chain[M].map(V);
+      return V;
+    }
+  return std::nullopt;
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+dnnfusion::chainPeriodicRow(const IndexChain &Chain) {
+  std::optional<std::pair<int64_t, int64_t>> Found;
+  for (const IndexMap &M : Chain) {
+    if (M.isIdentity())
+      continue;
+    if (Found)
+      return std::nullopt; // Two real maps: composition is not tracked.
+    Found = M.periodicRow();
+    if (!Found)
+      return std::nullopt;
+  }
+  return Found;
 }
 
 bool dnnfusion::isFoldableMovementOp(OpKind Kind) {

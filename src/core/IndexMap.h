@@ -22,6 +22,8 @@
 #include "tensor/Shape.h"
 
 #include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace dnnfusion {
@@ -46,6 +48,17 @@ public:
 
   Kind kind() const { return K; }
   bool isIdentity() const { return K == Kind::Identity; }
+
+  /// When the map sends every index to one fixed producer index (an
+  /// all-zero-stride affine map — how a broadcast scalar operand reads),
+  /// that index; nullopt otherwise.
+  std::optional<int64_t> constantIndex() const;
+
+  /// When the map is the right-aligned rank-1 broadcast pattern
+  /// "flat -> Base + flat % Period" (zero strides on every outer
+  /// dimension, stride one on the innermost — how a GEMM bias reads),
+  /// {Base, Period}; nullopt otherwise.
+  std::optional<std::pair<int64_t, int64_t>> periodicRow() const;
 
   /// Maps \p Count flat indices from \p In to \p Out (may alias).
   void mapIndices(const int64_t *In, int64_t *Out, int64_t Count) const;
@@ -77,6 +90,18 @@ void applyIndexChain(const IndexChain &Chain, int64_t *Indices, int64_t Count);
 
 /// True when the whole chain is a no-op.
 bool chainIsIdentity(const IndexChain &Chain);
+
+/// When the composed chain maps every index to one fixed producer index
+/// (some map along it is constant, making everything downstream of that
+/// map independent of the consumer index), the final index; nullopt
+/// otherwise. This is how a broadcast scalar reaches a fused kernel.
+std::optional<int64_t> chainConstantIndex(const IndexChain &Chain);
+
+/// When the composed chain is exactly one periodic-row map (identity maps
+/// aside), its {Base, Period}; nullopt otherwise. This is how a GEMM bias
+/// or per-row parameter reaches a fused kernel.
+std::optional<std::pair<int64_t, int64_t>> chainPeriodicRow(
+    const IndexChain &Chain);
 
 /// The access map of a data-movement operator \p N: flat indices of N's
 /// output -> flat indices of N's single data input. Supported kinds:

@@ -665,6 +665,43 @@ std::optional<RuleApplication> matchMulScalarIntoConv(const Ctx &C,
   return std::nullopt;
 }
 
+/// Div(Exp(Sub(X, ReduceMax(X))), ReduceSum(Exp(...))) over the last axis
+/// -> Softmax(X, -1). Recomposes the numerically-stable decomposed softmax
+/// into the single operator form so downstream fusion (and the fused
+/// attention matcher) sees one node instead of five.
+std::optional<RuleApplication> matchRecomposeSoftmax(const Ctx &C,
+                                                     NodeId Root) {
+  if (!C.is(Root, OpKind::Div))
+    return std::nullopt;
+  NodeId E = C.in(Root, 0), Sum = C.in(Root, 1);
+  if (!C.is(E, OpKind::Exp) || !C.is(Sum, OpKind::ReduceSum) ||
+      C.numUses(E) != 2 || !C.oneUse(Sum) || C.in(Sum, 0) != E)
+    return std::nullopt;
+  NodeId SubN = C.in(E, 0);
+  if (!C.is(SubN, OpKind::Sub) || !C.oneUse(SubN))
+    return std::nullopt;
+  NodeId X = C.in(SubN, 0), Max = C.in(SubN, 1);
+  if (!C.is(Max, OpKind::ReduceMax) || !C.oneUse(Max) || C.in(Max, 0) != X)
+    return std::nullopt;
+  auto LastAxisKeepdim = [&](NodeId Red) {
+    const Node &N = C.node(Red);
+    if (N.Attrs.getInt("keepdims", 1) == 0)
+      return false;
+    std::vector<int64_t> Axes = N.Attrs.getInts("axes");
+    return Axes.size() == 1 &&
+           (Axes[0] == -1 || Axes[0] == N.OutShape.rank() - 1);
+  };
+  if (!LastAxisKeepdim(Max) || !LastAxisKeepdim(Sum))
+    return std::nullopt;
+  // The reductions keep dims, so Sub/Div broadcast back over X's own
+  // shape; the recomposed Softmax output shape matches by construction.
+  return RuleApplication{Root, 0, [X](Graph &G) {
+                           return G.addOp(
+                               OpKind::Softmax, {X},
+                               AttrMap().set("axis", static_cast<int64_t>(-1)));
+                         }};
+}
+
 std::vector<RewriteRule> buildRegistry() {
   std::vector<RewriteRule> R;
 
@@ -788,6 +825,8 @@ std::vector<RewriteRule> buildRegistry() {
           matchReorganizeNoop);
   addRule(R, "canon.concat-single", RuleCategory::Canonicalization, 1,
           matchConcatSingle);
+  addRule(R, "canon.recompose-softmax", RuleCategory::Canonicalization, 1,
+          matchRecomposeSoftmax);
 
   // --- Folding ------------------------------------------------------------------
   addRule(R, "fold.conv-batchnorm", RuleCategory::Folding, 3,

@@ -26,6 +26,7 @@
 #include "ops/OpKind.h"
 #include "tensor/Tensor.h"
 
+#include <functional>
 #include <vector>
 
 namespace dnnfusion {
@@ -74,6 +75,13 @@ struct EngineCounters {
   /// run time (into scratch).
   int64_t PrepackHits = 0;
   int64_t PrepackMisses = 0;
+  /// Expression steps executed as GEMM epilogues (inside the producing
+  /// MatMul/Gemm kernel's row loop) instead of as separate passes.
+  int64_t GemmEpilogueSteps = 0;
+  /// Fused-attention / fused-layernorm steps executed (one per carved
+  /// attention or layernorm subgraph per inference).
+  int64_t FusedAttentionSteps = 0;
+  int64_t FusedLayerNormSteps = 0;
 
   void add(const EngineCounters &O) {
     ProgramSteps += O.ProgramSteps;
@@ -82,6 +90,9 @@ struct EngineCounters {
     DirectKernelCalls += O.DirectKernelCalls;
     PrepackHits += O.PrepackHits;
     PrepackMisses += O.PrepackMisses;
+    GemmEpilogueSteps += O.GemmEpilogueSteps;
+    FusedAttentionSteps += O.FusedAttentionSteps;
+    FusedLayerNormSteps += O.FusedLayerNormSteps;
   }
 };
 
@@ -97,6 +108,12 @@ struct KernelRuntime {
   int64_t PackScratchElems = 0;
   /// Engine-path counters to increment, or null.
   EngineCounters *Counters = nullptr;
+  /// Fused epilogue hook (MatMul/Gemm only): when non-null, the kernel
+  /// invokes it once per completed output row range with the flat element
+  /// range [Begin, End) it just wrote, from the same worker that produced
+  /// those rows — the epilogue runs while the rows are still cache-hot.
+  /// Every output element is covered exactly once across all invocations.
+  const std::function<void(int64_t, int64_t)> *Epilogue = nullptr;
 };
 
 /// Executes \p Kind on \p Inputs, writing \p Out (pre-allocated with the

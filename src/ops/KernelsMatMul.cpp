@@ -158,6 +158,8 @@ void runMatMul(const std::vector<const Tensor *> &Inputs, Tensor &Out,
                        RowInBatch + RowsHere, N, K, MR, NR, nullptr);
         Row += RowsHere;
       }
+      if (Rt.Epilogue)
+        (*Rt.Epilogue)(Begin * N, End * N);
     });
     return;
   }
@@ -175,6 +177,8 @@ void runMatMul(const std::vector<const Tensor *> &Inputs, Tensor &Out,
                  K);
       Row += RowsHere;
     }
+    if (Rt.Epilogue)
+      (*Rt.Epilogue)(Begin * N, End * N);
   });
 }
 
@@ -265,6 +269,8 @@ void runGemm(const AttrMap &Attrs, const std::vector<const Tensor *> &Inputs,
       if (Bias)
         for (int64_t I = Begin; I < End; ++I)
           addBiasRow(Out.data() + I * N, Bias, I, N, BiasS0, BiasS1);
+      if (Rt.Epilogue)
+        (*Rt.Epilogue)(Begin * N, End * N);
     });
     return;
   }
@@ -290,6 +296,8 @@ void runGemm(const AttrMap &Attrs, const std::vector<const Tensor *> &Inputs,
     if (Bias)
       for (int64_t I = Begin; I < End; ++I)
         addBiasRow(Out.data() + I * N, Bias, I, N, BiasS0, BiasS1);
+    if (Rt.Epilogue)
+      (*Rt.Epilogue)(Begin * N, End * N);
   };
   parallelFor(M, RunRows);
 }

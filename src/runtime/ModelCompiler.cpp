@@ -2,6 +2,7 @@
 
 #include "runtime/ModelCompiler.h"
 
+#include "core/TransformerPatterns.h"
 #include "ops/OpSchema.h"
 #include "serialize/CompilationCache.h"
 #include "support/Error.h"
@@ -277,6 +278,7 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
       // under (the defaults — engine knobs are not in the OPTS section).
       Cached->Codegen.UseCompiledPrograms =
           Options.Codegen.UseCompiledPrograms;
+      Cached->Codegen.FuseGemmEpilogue = Options.Codegen.FuseGemmEpilogue;
       const KernelConfig &Want = Options.Codegen.Kernels;
       const KernelConfig Loaded = Cached->Codegen.Kernels;
       Cached->Codegen.Kernels = Want;
@@ -306,6 +308,13 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
     M.Plan = planFusion(G, Oracle, Options.Planner, &M.PlannerInfo);
     if (Options.EnableOtherOpts)
       mergeMovementBlocks(G, M.Plan);
+    // Transformer carving: regroup matched attention / layernorm
+    // subgraphs (which mapping-type analysis shatters across blocks) into
+    // single blocks, which compileBlock then lowers to the fused
+    // single-pass kernels.
+    if (Options.Codegen.FuseAttention || Options.Codegen.FuseNorm)
+      carveTransformerGroups(G, M.Plan, Options.Codegen.FuseAttention,
+                             Options.Codegen.FuseNorm);
   } else {
     M.Plan = planNoFusion(G);
   }
@@ -320,7 +329,8 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
   finishCompilation(M, G, Options.WavefrontSafeMemory);
   if (UseCache) {
     // Best-effort: a failed store leaves the cache cold, nothing more.
-    (void)CompilationCache(Options.CacheDir).store(CacheKey, M);
+    (void)CompilationCache(Options.CacheDir)
+        .store(CacheKey, M, Options.CacheMaxBytes);
   }
   return M;
 }

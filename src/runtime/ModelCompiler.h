@@ -54,6 +54,13 @@ struct CompileOptions {
   /// recompile and overwrites the entry. Excluded from the cache key
   /// itself. See serialize/CompilationCache.h.
   std::string CacheDir;
+  /// Upper bound, in bytes, on the total artifact size kept in CacheDir;
+  /// 0 = unbounded. Enforced after each store by evicting
+  /// least-recently-used artifacts (cache hits refresh recency) until the
+  /// directory fits. The artifact just stored is never evicted, so a
+  /// single model larger than the whole budget still warm-starts its own
+  /// next compile. Excluded from the cache key, like CacheDir.
+  int64_t CacheMaxBytes = 0;
 };
 
 /// A fully compiled model, ready for execution.

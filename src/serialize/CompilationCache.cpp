@@ -9,9 +9,50 @@
 #include "support/Hash.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <tuple>
+#include <vector>
+
 using namespace dnnfusion;
 
 namespace {
+
+/// One cache artifact on disk, with the metadata eviction orders by.
+struct ArtifactInfo {
+  std::string Path;
+  int64_t Bytes = 0;
+  int64_t MtimeSec = 0;
+  int64_t MtimeNsec = 0;
+};
+
+/// Every model-*.dnnf regular file in \p Dir. Anything else in the
+/// directory (temp files mid-rename, foreign files) is left alone.
+std::vector<ArtifactInfo> listArtifacts(const std::string &Dir) {
+  std::vector<ArtifactInfo> Out;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("model-", 0) != 0 || Name.size() < 11 ||
+        Name.compare(Name.size() - 5, 5, ".dnnf") != 0)
+      continue;
+    ArtifactInfo A;
+    A.Path = Dir + "/" + Name;
+    struct stat St;
+    if (stat(A.Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    A.Bytes = static_cast<int64_t>(St.st_size);
+    A.MtimeSec = static_cast<int64_t>(St.st_mtim.tv_sec);
+    A.MtimeNsec = static_cast<int64_t>(St.st_mtim.tv_nsec);
+    Out.push_back(std::move(A));
+  }
+  closedir(D);
+  return Out;
+}
 
 /// Every option that changes the compiled artifact, in one stable
 /// encoding. New fields append here (and implicitly cold-start caches,
@@ -35,6 +76,11 @@ std::string serializeOptionsForKey(const CompileOptions &O) {
   W.u8(O.Codegen.FoldDataMovement ? 1 : 0);
   W.u8(O.Codegen.MaterializeShared ? 1 : 0);
   W.i32(O.Codegen.ChunkSize);
+  // FuseAttention/FuseNorm change the fusion plan (and thus the persisted
+  // artifact); FuseGemmEpilogue deliberately does not — it is an engine
+  // knob adopted from the caller on a hit, like UseCompiledPrograms.
+  W.u8(O.Codegen.FuseAttention ? 1 : 0);
+  W.u8(O.Codegen.FuseNorm ? 1 : 0);
   return W.take();
 }
 
@@ -55,11 +101,48 @@ std::string CompilationCache::pathForKey(uint64_t Key) const {
 }
 
 Expected<CompiledModel> CompilationCache::lookup(uint64_t Key) const {
-  return loadModel(pathForKey(Key));
+  std::string Path = pathForKey(Key);
+  Expected<CompiledModel> M = loadModel(Path);
+  if (M.ok()) {
+    // Refresh recency (nanosecond "now") so budgeted eviction is LRU.
+    // Best-effort: a read-only cache directory still serves hits.
+    utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+  }
+  return M;
 }
 
-Status CompilationCache::store(uint64_t Key, const CompiledModel &M) const {
+Status CompilationCache::store(uint64_t Key, const CompiledModel &M,
+                               int64_t MaxBytes) const {
   if (Status S = ensureDirectory(Dir); !S.ok())
     return S;
-  return saveModel(M, pathForKey(Key));
+  std::string Path = pathForKey(Key);
+  if (Status S = saveModel(M, Path); !S.ok())
+    return S;
+  if (MaxBytes > 0)
+    evictToBudget(MaxBytes, Path);
+  return Status();
+}
+
+void CompilationCache::evictToBudget(int64_t MaxBytes,
+                                     const std::string &Keep) const {
+  std::vector<ArtifactInfo> Artifacts = listArtifacts(Dir);
+  int64_t Total = 0;
+  for (const ArtifactInfo &A : Artifacts)
+    Total += A.Bytes;
+  if (Total <= MaxBytes)
+    return;
+  // Oldest access first; the path breaks mtime ties deterministically.
+  std::sort(Artifacts.begin(), Artifacts.end(),
+            [](const ArtifactInfo &A, const ArtifactInfo &B) {
+              return std::tie(A.MtimeSec, A.MtimeNsec, A.Path) <
+                     std::tie(B.MtimeSec, B.MtimeNsec, B.Path);
+            });
+  for (const ArtifactInfo &A : Artifacts) {
+    if (Total <= MaxBytes)
+      break;
+    if (A.Path == Keep)
+      continue;
+    removeFileIfExists(A.Path);
+    Total -= A.Bytes;
+  }
 }

@@ -54,15 +54,26 @@ public:
   std::string pathForKey(uint64_t Key) const;
 
   /// Loads the artifact for \p Key. NotFound when absent, DataLoss when
-  /// present but unusable — callers treat any error as a miss.
+  /// present but unusable — callers treat any error as a miss. A hit
+  /// refreshes the artifact's modification time, so the eviction in
+  /// store() is least-recently-used rather than first-in-first-out.
   Expected<CompiledModel> lookup(uint64_t Key) const;
 
   /// Persists \p M under \p Key, creating the directory on demand.
   /// Best-effort by contract: a failure leaves the cache cold, not the
-  /// caller broken.
-  Status store(uint64_t Key, const CompiledModel &M) const;
+  /// caller broken. When \p MaxBytes > 0, artifacts are then evicted
+  /// least-recently-used-first until the directory's total artifact size
+  /// fits the budget; the entry just stored is exempt, so one model
+  /// larger than the whole budget still warm-starts its own next compile
+  /// (the budget bounds steady state, it never rejects a store).
+  Status store(uint64_t Key, const CompiledModel &M,
+               int64_t MaxBytes = 0) const;
 
 private:
+  /// Removes least-recently-used artifacts (never \p Keep) until the
+  /// directory's model-*.dnnf total is at most \p MaxBytes.
+  void evictToBudget(int64_t MaxBytes, const std::string &Keep) const;
+
   std::string Dir;
 };
 

@@ -155,6 +155,12 @@ std::string serializeOptions(const CodegenOptions &Codegen,
   W.u8(Codegen.MaterializeShared ? 1 : 0);
   W.u32(static_cast<uint32_t>(Codegen.ChunkSize));
   W.u8(WavefrontSafeMemory ? 1 : 0);
+  // Plan-affecting fusion toggles (format v2): the loader must recompile
+  // the persisted plan's blocks under the same toggles, or the rebuilt
+  // locals/scratch would disagree with the persisted memory plan. Engine
+  // knobs (UseCompiledPrograms, FuseGemmEpilogue, Kernels) stay out.
+  W.u8(Codegen.FuseAttention ? 1 : 0);
+  W.u8(Codegen.FuseNorm ? 1 : 0);
   return W.take();
 }
 
@@ -164,6 +170,8 @@ DecodedOptions readOptions(ByteReader &R) {
   O.Codegen.MaterializeShared = R.u8() != 0;
   O.Codegen.ChunkSize = static_cast<int>(R.u32());
   O.WavefrontSafeMemory = R.u8() != 0;
+  O.Codegen.FuseAttention = R.u8() != 0;
+  O.Codegen.FuseNorm = R.u8() != 0;
   if (R.ok() &&
       (O.Codegen.ChunkSize < 1 || O.Codegen.ChunkSize > DftMaxChunk))
     R.fail(formatString("chunk size %d outside [1, %d]", O.Codegen.ChunkSize,

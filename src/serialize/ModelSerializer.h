@@ -41,7 +41,7 @@ namespace dnnfusion {
 /// docs/FORMAT.md for the policy). Also folded into compilation-cache
 /// keys so a version bump cold-starts the cache instead of tripping on
 /// every entry.
-inline constexpr uint32_t SerializedFormatVersion = 1;
+inline constexpr uint32_t SerializedFormatVersion = 2;
 
 /// What a container file holds.
 enum class ArtifactKind : uint32_t {

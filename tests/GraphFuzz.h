@@ -119,12 +119,27 @@ struct DiffConfig {
   /// make outputs bit-identical across pool sizes; runDifferential
   /// enforces that between the "full" and "full-t1" entries.
   unsigned Threads = 0;
+  /// Per-config tolerances for the vs-reference comparison. Negative =
+  /// inherit the matrix-wide defaults passed to runDifferential. Configs
+  /// that exercise a deliberate bit-identity relaxation (the fused
+  /// attention kernel's online softmax) carry the documented tolerance
+  /// explicitly; exact configs stay at the inherited/strict setting.
+  float RelTol = -1.0f;
+  float AbsTol = -1.0f;
+  /// When non-empty: the name of an earlier matrix config this one must
+  /// match *bit-for-bit* (tolerance 0), on top of the vs-reference check.
+  /// This is how thread-count, engine-path, kernel-path, and
+  /// epilogue-fold dimensions pin their exactness guarantees.
+  std::string BitIdenticalTo;
 };
 
 /// The default configuration matrix: full pipeline, fusion without
 /// rewriting, rewriting without fusion, fusion without the §4.4.2 "other"
-/// optimizations, and the full pipeline pinned to a single-thread pool
-/// (the thread-count dimension).
+/// optimizations, the full pipeline pinned to a single-thread pool
+/// (the thread-count dimension), engine/kernel-path dimensions
+/// (tree-walk, naive GEMM), and the transformer-fusion dimensions
+/// (epilogue folding off — bit-identical; fused attention/layernorm off —
+/// reference path).
 const std::vector<DiffConfig> &defaultConfigMatrix();
 
 /// A reference-vs-optimized divergence.

@@ -22,7 +22,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
+#include <string>
 
 namespace dnnfusion {
 namespace testutil {
@@ -85,16 +87,32 @@ inline void expectOptimizedMatchesReference(const Graph &G, uint64_t Seed,
 }
 
 /// Asserts the optimized pipeline reproduces the reference outputs under
-/// every configuration of the differential matrix (see GraphFuzz.h).
+/// every configuration of the differential matrix (see GraphFuzz.h),
+/// honoring each config's own tolerance (exact configs stay strict, the
+/// fused-attention relaxation stays at its documented bound) and the
+/// bit-identity pairings between configs.
 inline void
 expectMatchesReferenceUnderMatrix(const Graph &G, uint64_t Seed,
                                   float RelTol = 2e-3f, float AbsTol = 2e-3f) {
   std::vector<Tensor> Inputs = randomInputs(G, Seed);
   std::vector<Tensor> Ref = runReference(G, Inputs);
+  std::map<std::string, std::vector<Tensor>> ByName;
   for (const DiffConfig &Config : defaultConfigMatrix()) {
     std::vector<Tensor> Opt = runOptimized(G, Inputs, Config.Options);
-    std::optional<std::string> Diff = compareOutputs(Ref, Opt, RelTol, AbsTol);
+    float Rel = Config.RelTol >= 0.0f ? Config.RelTol : RelTol;
+    float Abs = Config.AbsTol >= 0.0f ? Config.AbsTol : AbsTol;
+    std::optional<std::string> Diff = compareOutputs(Ref, Opt, Rel, Abs);
     EXPECT_FALSE(Diff.has_value()) << "config " << Config.Name << ": " << *Diff;
+    if (!Config.BitIdenticalTo.empty()) {
+      auto Base = ByName.find(Config.BitIdenticalTo);
+      ASSERT_NE(Base, ByName.end()) << Config.Name;
+      std::optional<std::string> Exact =
+          compareOutputs(Base->second, Opt, 0.0f, 0.0f);
+      EXPECT_FALSE(Exact.has_value())
+          << Config.BitIdenticalTo << " vs " << Config.Name
+          << " (bit-identity): " << *Exact;
+    }
+    ByName.emplace(Config.Name, std::move(Opt));
   }
 }
 

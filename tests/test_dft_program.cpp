@@ -207,23 +207,39 @@ TEST(DftProgramLowering, NestedConcatWithMappedBranches) {
   expectStepBitIdentity(B.graph(), CB, {3, 11, 64, 256});
 }
 
-TEST(DftProgramLowering, BroadcastOperandMapsIndices) {
+TEST(DftProgramLowering, BroadcastRowOperandLowersToPeriodicLoad) {
   GraphBuilder B(7);
   NodeId X = B.input(Shape({4, 8}));
   NodeId Row = B.input(Shape({8}));
   B.markOutput(B.add(X, Row));
   CompiledBlock CB = compileWholeGraph(B.graph());
   const DftProgram &P = CB.Steps[0].Program;
-  // The broadcast operand needs a map + gather; the aligned operand stays
-  // a zero-copy slot argument.
-  EXPECT_EQ(countInstrs(P, DftInstr::Kind::MapIndices), 1);
-  EXPECT_EQ(countInstrs(P, DftInstr::Kind::LoadGather), 1);
+  // A right-aligned rank-1 broadcast (the GEMM-bias pattern) skips the
+  // generic map + gather pair for a period-aligned block copy; the
+  // aligned operand stays a zero-copy slot argument.
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::LoadPeriodic), 1);
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::MapIndices), 0);
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::LoadGather), 0);
   bool SawSlotArg = false;
   for (const DftInstr &I : P.Instrs)
     if (I.K == DftInstr::Kind::Eltwise)
       for (int A = 0; A < I.NumArgs; ++A)
         SawSlotArg |= I.Args[A].IsSlot;
   EXPECT_TRUE(SawSlotArg);
+  expectStepBitIdentity(B.graph(), CB, {8, 30, 256});
+}
+
+TEST(DftProgramLowering, BroadcastScalarOperandLowersToSplat) {
+  GraphBuilder B(7);
+  NodeId X = B.input(Shape({4, 8}));
+  B.markOutput(B.mul(X, B.scalar(0.5f)));
+  CompiledBlock CB = compileWholeGraph(B.graph());
+  const DftProgram &P = CB.Steps[0].Program;
+  // A scalar operand's chain collapses to one fixed index: a register
+  // fill, no index arithmetic at all.
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::LoadSplat), 1);
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::MapIndices), 0);
+  EXPECT_EQ(countInstrs(P, DftInstr::Kind::LoadGather), 0);
   expectStepBitIdentity(B.graph(), CB, {8, 30, 256});
 }
 
@@ -430,13 +446,29 @@ TEST(PrepackStore, ConstantWeightsPackOnceAndHitAtRunTime) {
   EXPECT_EQ(Stats.Engine.PrepackMisses, 0);
   EXPECT_EQ(Stats.Engine.PackedKernelCalls, 2);
   EXPECT_EQ(Stats.Engine.DirectKernelCalls, 0);
-  EXPECT_GT(Stats.Engine.ProgramSteps, 0);
+  // The relu between the two GEMMs runs as a fused epilogue inside the
+  // first GEMM's row loop, not as a standalone program step.
+  EXPECT_EQ(Stats.Engine.ProgramSteps, 0);
+  EXPECT_EQ(Stats.Engine.GemmEpilogueSteps, 1);
   EXPECT_EQ(Stats.Engine.TreeWalkSteps, 0);
+}
+
+TEST(PrepackStore, EpilogueToggleRestoresStandaloneProgramSteps) {
+  CompileOptions Opt;
+  Opt.Codegen.FuseGemmEpilogue = false;
+  CompiledModel M = cantFail(compileModel(constantWeightModel(11), Opt));
+  ExecutionContext E(M);
+  std::vector<Tensor> Inputs = randomInputs(M.G, 5);
+  ExecutionStats Stats;
+  E.run(Inputs, &Stats);
+  EXPECT_GT(Stats.Engine.ProgramSteps, 0);
+  EXPECT_EQ(Stats.Engine.GemmEpilogueSteps, 0);
 }
 
 TEST(PrepackStore, DisabledEngineReportsLegacyPaths) {
   CompileOptions Opt;
   Opt.Codegen.UseCompiledPrograms = false;
+  Opt.Codegen.FuseGemmEpilogue = false;
   Opt.Codegen.Kernels.UsePackedGemm = false;
   CompiledModel M = cantFail(compileModel(constantWeightModel(11), Opt));
   EXPECT_TRUE(M.Prepack.empty());
@@ -462,7 +494,7 @@ TEST(PrepackStore, SessionMetricsAccumulateEngineCounters) {
   EXPECT_EQ(Metrics.RequestsServed, 3u);
   EXPECT_EQ(Metrics.Engine.PrepackHits, 6);
   EXPECT_EQ(Metrics.Engine.PackedKernelCalls, 6);
-  EXPECT_GT(Metrics.Engine.ProgramSteps, 0);
+  EXPECT_EQ(Metrics.Engine.GemmEpilogueSteps, 3);
   EXPECT_EQ(Metrics.Engine.TreeWalkSteps, 0);
 }
 

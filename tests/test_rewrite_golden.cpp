@@ -396,6 +396,22 @@ std::vector<GoldenCase> goldenCases() {
                                           AttrMap().set("axis", int64_t(0)))));
                },
                "Relu(Concat{axis=0}(in0))", "Relu(in0)"});
+  C.push_back(
+      {"canon.recompose-softmax",
+       [](GraphBuilder &B) {
+         NodeId X = B.input(Shape({4, 8}));
+         AttrMap Last =
+             AttrMap().set("axes", std::vector<int64_t>{-1}).set("keepdims",
+                                                                 int64_t(1));
+         NodeId Max = B.op(OpKind::ReduceMax, {X}, Last);
+         NodeId E = B.unary(OpKind::Exp, B.op(OpKind::Sub, {X, Max}));
+         NodeId Sum = B.op(OpKind::ReduceSum, {E}, Last);
+         B.markOutput(B.op(OpKind::Div, {E, Sum}));
+       },
+       "Div(Exp(Sub(in0, ReduceMax{axes=[-1];keepdims=1}(in0))), "
+       "ReduceSum{axes=[-1];keepdims=1}(Exp(Sub(in0, "
+       "ReduceMax{axes=[-1];keepdims=1}(in0)))))",
+       "Softmax{axis=-1}(in0)"});
 
   // --- Folding -------------------------------------------------------------
   C.push_back({"fold.conv-batchnorm",

@@ -22,8 +22,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <ctime>
 #include <limits>
+#include <sys/stat.h>
 #include <unistd.h>
+#include <utime.h>
 
 namespace {
 
@@ -463,6 +466,71 @@ TEST_F(CompilationCacheTest, CorruptEntryFallsBackToCleanRecompile) {
   EXPECT_FALSE(M.CacheHit);
   CompiledModel Again = cantFail(compileModel(G, Opt));
   EXPECT_TRUE(Again.CacheHit);
+}
+
+TEST_F(CompilationCacheTest, LruEvictionHonorsBudgetAndRecency) {
+  // Three same-shaped graphs with different weights: equal artifact sizes,
+  // distinct content keys.
+  auto Build = [](uint64_t Seed) {
+    GraphBuilder B(Seed);
+    NodeId X = B.input(Shape({8, 16}));
+    NodeId W = B.weight(Shape({16, 16}));
+    B.markOutput(B.relu(B.binary(OpKind::MatMul, X, W)));
+    return B.take();
+  };
+  Graph GA = Build(1), GB = Build(2), GC = Build(3);
+  CompileOptions Opt;
+  Opt.CacheDir = Dir;
+  CompilationCache Cache(Dir);
+  std::string PathA = Cache.pathForKey(CompilationCache::fingerprint(GA, Opt));
+  std::string PathB = Cache.pathForKey(CompilationCache::fingerprint(GB, Opt));
+  std::string PathC = Cache.pathForKey(CompilationCache::fingerprint(GC, Opt));
+  ASSERT_NE(PathA, PathB);
+
+  cantFail(compileModel(GA, Opt)); // Unbudgeted store to size one artifact.
+  struct stat St;
+  ASSERT_EQ(stat(PathA.c_str(), &St), 0);
+  const int64_t One = static_cast<int64_t>(St.st_size);
+  Opt.CacheMaxBytes = 2 * One + One / 2; // Two artifacts fit, three don't.
+
+  cantFail(compileModel(GB, Opt));
+  // Age both entries, A older than B; a warm hit on A must refresh its
+  // recency so B becomes the least-recently-used entry.
+  time_t Now = time(nullptr);
+  struct utimbuf OldA = {Now - 100, Now - 100};
+  struct utimbuf OldB = {Now - 50, Now - 50};
+  ASSERT_EQ(utime(PathA.c_str(), &OldA), 0);
+  ASSERT_EQ(utime(PathB.c_str(), &OldB), 0);
+  CompiledModel Warm = cantFail(compileModel(GA, Opt));
+  EXPECT_TRUE(Warm.CacheHit);
+
+  // Storing C overflows the budget: B (LRU) is evicted, not A (touched).
+  cantFail(compileModel(GC, Opt));
+  EXPECT_TRUE(fileExists(PathA));
+  EXPECT_TRUE(fileExists(PathC));
+  EXPECT_FALSE(fileExists(PathB));
+
+  // An evicted entry is a plain miss: clean recompile, re-stored, and the
+  // now-oldest artifact (A, whose touch predates C's store) goes instead.
+  CompiledModel Again = cantFail(compileModel(GB, Opt));
+  EXPECT_FALSE(Again.CacheHit);
+  EXPECT_TRUE(fileExists(PathB));
+  EXPECT_TRUE(fileExists(PathC));
+  EXPECT_FALSE(fileExists(PathA));
+
+  // A budget smaller than one artifact never rejects the store: the entry
+  // just written is exempt, everything else is evicted.
+  Opt.CacheMaxBytes = One / 2;
+  cantFail(compileModel(GA, Opt));
+  EXPECT_TRUE(fileExists(PathA));
+  EXPECT_FALSE(fileExists(PathB));
+  EXPECT_FALSE(fileExists(PathC));
+  CompiledModel Oversized = cantFail(compileModel(GA, Opt));
+  EXPECT_TRUE(Oversized.CacheHit);
+
+  removeFileIfExists(PathA);
+  removeFileIfExists(PathB);
+  removeFileIfExists(PathC);
 }
 
 TEST_F(CompilationCacheTest, VersionDriftColdStartsInsteadOfFailing) {

@@ -7,12 +7,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtils.h"
 #include "core/Ecg.h"
 #include "core/FusionAnalysis.h"
+#include "core/TransformerPatterns.h"
 #include "models/ModelZoo.h"
 #include "runtime/ExecutionContext.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 using namespace dnnfusion;
 
@@ -31,7 +35,14 @@ TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
   EXPECT_LT(M.Plan.fusedLayerCount(), M.G.countLayers()) << entry().Info.Name;
 
   Ecg E(M.G);
+  std::vector<std::vector<NodeId>> Consumers = M.G.computeConsumers();
   for (const FusionBlock &B : M.Plan.Blocks) {
+    // Carved transformer blocks deliberately break the mapping-type rules:
+    // they hold the whole matched subgraph (two MatMuls plus softmax, or a
+    // nine-node layernorm) and compile to one fused step instead.
+    if (matchAttentionBlock(M.G, Consumers, B.Members) ||
+        matchLayerNormBlock(M.G, Consumers, B.Members))
+      continue;
     // At most one Many-to-Many operator per block (red Table 3 cells).
     int Heavy = 0;
     for (NodeId Id : B.Members)
@@ -47,6 +58,50 @@ TEST_P(ZooInvariants, CompiledModelUpholdsPlannerInvariants) {
               << entry().Info.Name << " node " << Id;
         }
   }
+}
+
+TEST_P(ZooInvariants, TransformerModelsCompileToFusedAttentionBlocks) {
+  const std::string Name = entry().Info.Name;
+  bool IsTransformer = Name.find("BERT") != std::string::npos ||
+                       Name.find("GPT") != std::string::npos;
+  CompiledModel M = cantFail(compileModel(entry().Build(), CompileOptions()));
+  int Attention = 0, Norm = 0;
+  for (const CompiledBlock &B : M.Blocks)
+    for (const CompiledStep &S : B.Steps) {
+      Attention += S.K == CompiledStep::Kind::FusedAttention;
+      Norm += S.K == CompiledStep::Kind::FusedLayerNorm;
+    }
+  if (IsTransformer) {
+    // Every transformer in the zoo decomposes attention the same way; all
+    // of it must reach the single-pass kernels.
+    EXPECT_GT(Attention, 0) << Name;
+    EXPECT_GT(Norm, 0) << Name;
+  } else {
+    EXPECT_EQ(Attention, 0) << Name;
+  }
+
+  // The carving must be inert when the toggles are off: same graphs, only
+  // generic blocks.
+  CompileOptions Plain;
+  Plain.Codegen.FuseAttention = false;
+  Plain.Codegen.FuseNorm = false;
+  CompiledModel U = cantFail(compileModel(entry().Build(), Plain));
+  for (const CompiledBlock &B : U.Blocks)
+    for (const CompiledStep &S : B.Steps)
+      EXPECT_TRUE(S.K == CompiledStep::Kind::RefKernel ||
+                  S.K == CompiledStep::Kind::Expression)
+          << Name;
+}
+
+TEST_P(ZooInvariants, DifferentialMatrixHoldsWithFusedKernels) {
+  // Zoo-wide enforcement of the fused configurations: every matrix config
+  // (fused attention/epilogues on, each dimension toggled off, the
+  // bit-identity pairings) must reproduce the unoptimized reference at
+  // its own tolerance on the real models, not just on fuzzed graphs. The
+  // transformer family is where the fused kernels actually fire; the rest
+  // of the zoo pins the carving as a no-op.
+  testutil::expectMatchesReferenceUnderMatrix(entry().Build(),
+                                              4000 + GetParam());
 }
 
 TEST_P(ZooInvariants, CompiledBlocksHaveConsistentSlots) {
