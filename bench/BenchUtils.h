@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 namespace dnnfusion {
 namespace bench {
@@ -200,7 +201,12 @@ inline int emitKernelsJson(const char *Path) {
   };
   constexpr int Reps = 5;
 
-  std::fprintf(Out, "{\n  \"bench\": \"kernels\",\n  \"host_cpus\": %u,\n",
+  // host_cpus + threads make the committed numbers' machine context
+  // machine-readable (kernel timings here are strictly single-threaded;
+  // a 1-CPU host caveats any concurrency-derived row).
+  std::fprintf(Out,
+               "{\n  \"bench\": \"kernels\",\n  \"host_cpus\": %u,\n"
+               "  \"threads\": 1,\n",
                std::thread::hardware_concurrency());
 
   // --- GEMM shape classes: naive row-walk vs packed register-blocked ---

@@ -63,10 +63,13 @@ int emitColdWarmJson(const char *Path) {
     std::fprintf(stderr, "cannot open %s\n", Path);
     return 1;
   }
+  // Compilation is single-threaded; host_cpus records the machine the
+  // committed trajectory numbers came from (the 1-CPU-host caveat).
   std::fprintf(Out,
                "{\n  \"bench\": \"fig9b_cold_warm_compile\",\n"
-               "  \"format_version\": %u,\n  \"models\": [\n",
-               SerializedFormatVersion);
+               "  \"format_version\": %u,\n  \"host_cpus\": %u,\n"
+               "  \"threads\": 1,\n  \"models\": [\n",
+               SerializedFormatVersion, std::thread::hardware_concurrency());
   TablePrinter T({"Model", "Cold ms", "Warm ms", "Speedup", "Artifact MB"});
   const std::vector<ModelZooEntry> &Zoo = modelZoo();
   bool AllHit = true;

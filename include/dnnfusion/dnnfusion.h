@@ -30,7 +30,12 @@
 ///     compileModelWithPlan, CompiledModel     — the compile boundary
 ///   - ModelSignature, TensorSpec              — the typed calling convention
 ///   - InferenceSession, SessionOptions,
-///     SessionMetrics, ExecutionStats          — serving
+///     SessionMetrics, ExecutionStats          — serving (one model)
+///   - DynamicBatcher, BatcherOptions,
+///     AdmissionController, AdmissionOptions,
+///     ModelRegistry, RegistryOptions,
+///     ServingStats, LatencyHistogram          — the serving front end:
+///     dynamic batching, admission control, multi-model routing
 ///   - saveModel / loadModel,
 ///     saveGraph / loadGraph,
 ///     CompileOptions::CacheDir                — persistence (docs/FORMAT.md)
@@ -60,6 +65,7 @@
 #include "runtime/ModelSignature.h"
 #include "serialize/GraphSerializer.h"
 #include "serialize/ModelSerializer.h"
+#include "serving/ModelRegistry.h"
 #include "support/Status.h"
 #include "tensor/Tensor.h"
 

@@ -15,6 +15,11 @@
 #                              # engine correctness guards (packed vs
 #                              # naive, program vs treewalk divergence),
 #                              # never on timing
+#   ./scripts/ci.sh serving    # serving smoke: the closed-loop load
+#                              # generator briefly (--quick) into
+#                              # BENCH_serving.json; fails on crashes or
+#                              # the batched-vs-solo bit-identity /
+#                              # request-accounting guards, never timing
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +63,21 @@ for CONFIG in "${CONFIGS[@]}"; do
     "$BUILD_DIR/bench_fig7_breakdown" --json BENCH_e2e.json
     continue
   fi
+  if [ "$CONFIG" = "serving" ]; then
+    BUILD_DIR="build-ci-serving"
+    echo "=== [serving] configure ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DDNNFUSION_BUILD_TESTS=OFF -DDNNFUSION_BUILD_BENCH=ON \
+          -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [serving] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serving_loadgen
+    echo "=== [serving] closed-loop load smoke (BENCH_serving.json) ==="
+    # --quick shortens the measurement windows; the exit code carries the
+    # correctness guards (batched-vs-solo bit-identity, request accounting,
+    # pool integrity after the shedding storm) — never a timing assertion.
+    "$BUILD_DIR/bench_serving_loadgen" --quick --json BENCH_serving.json
+    continue
+  fi
   if [ "$CONFIG" = "cache" ]; then
     BUILD_DIR="build-ci-cache"
     echo "=== [cache] configure ==="
@@ -66,13 +86,18 @@ for CONFIG in "${CONFIGS[@]}"; do
           -DDNNFUSION_BUILD_EXAMPLES=ON
     echo "=== [cache] build ==="
     cmake --build "$BUILD_DIR" -j "$JOBS" \
-          --target example_save_load_roundtrip bench_fig9b_compilation_time
+          --target example_save_load_roundtrip bench_fig9b_compilation_time \
+          dnnf-cache
     CACHE_DIR="$(mktemp -d)"
     echo "=== [cache] cold process (populates $CACHE_DIR) ==="
     "$BUILD_DIR/example_save_load_roundtrip" --cache-dir "$CACHE_DIR"
     echo "=== [cache] warm process (must hit the cache) ==="
     "$BUILD_DIR/example_save_load_roundtrip" --cache-dir "$CACHE_DIR" \
         --expect-cache-hit
+    echo "=== [cache] dnnf-cache inspection over the populated dir ==="
+    "$BUILD_DIR/dnnf-cache" list "$CACHE_DIR"
+    # Every entry the two processes left behind must verify clean.
+    "$BUILD_DIR/dnnf-cache" verify "$CACHE_DIR"
     rm -rf "$CACHE_DIR"
     echo "=== [cache] fig9b cold/warm sweep ==="
     "$BUILD_DIR/bench_fig9b_compilation_time" --json BENCH_fig9b.json

@@ -7,25 +7,46 @@
 using namespace dnnfusion;
 
 const std::vector<ModelZooEntry> &dnnfusion::modelZoo() {
+  // BuildBatched is present for the models whose builders are
+  // batch-parameterized (the transformers plus the plain classification /
+  // segmentation CNNs); the detection and R-CNN exports hard-code batch 1
+  // in their head reshapes, matching real mobile exports.
   static const std::vector<ModelZooEntry> Zoo = {
       {{"EfficientNet-B0", "2D CNN", "Image classification", 309},
-       buildEfficientNetB0},
-      {{"VGG-16", "2D CNN", "Image classification", 51}, buildVgg16},
+       buildEfficientNetB0,
+       buildEfficientNetB0Batched},
+      {{"VGG-16", "2D CNN", "Image classification", 51},
+       buildVgg16,
+       buildVgg16Batched},
       {{"MobileNetV1-SSD", "2D CNN", "Object detection", 202},
-       buildMobileNetV1Ssd},
-      {{"YOLO-V4", "2D CNN", "Object detection", 398}, buildYoloV4},
-      {{"C3D", "3D CNN", "Action recognition", 27}, buildC3d},
-      {{"S3D", "3D CNN", "Action recognition", 272}, buildS3d},
-      {{"U-Net", "2D CNN", "Image segmentation", 292}, buildUNet},
+       buildMobileNetV1Ssd,
+       nullptr},
+      {{"YOLO-V4", "2D CNN", "Object detection", 398}, buildYoloV4, nullptr},
+      {{"C3D", "3D CNN", "Action recognition", 27}, buildC3d, nullptr},
+      {{"S3D", "3D CNN", "Action recognition", 272}, buildS3d, nullptr},
+      {{"U-Net", "2D CNN", "Image segmentation", 292},
+       buildUNet,
+       buildUNetBatched},
       {{"Faster R-CNN", "R-CNN", "Image segmentation", 3640},
-       buildFasterRcnn},
-      {{"Mask R-CNN", "R-CNN", "Image segmentation", 3999}, buildMaskRcnn},
-      {{"TinyBERT", "Transformer", "NLP", 366}, buildTinyBert},
-      {{"DistilBERT", "Transformer", "NLP", 457}, buildDistilBert},
-      {{"ALBERT", "Transformer", "NLP", 936}, buildAlbert},
-      {{"BERT-base", "Transformer", "NLP", 976}, buildBertBase},
-      {{"MobileBERT", "Transformer", "NLP", 2387}, buildMobileBert},
-      {{"GPT-2", "Transformer", "NLP", 2533}, buildGpt2},
+       buildFasterRcnn,
+       nullptr},
+      {{"Mask R-CNN", "R-CNN", "Image segmentation", 3999},
+       buildMaskRcnn,
+       nullptr},
+      {{"TinyBERT", "Transformer", "NLP", 366},
+       buildTinyBert,
+       buildTinyBertBatched},
+      {{"DistilBERT", "Transformer", "NLP", 457},
+       buildDistilBert,
+       buildDistilBertBatched},
+      {{"ALBERT", "Transformer", "NLP", 936}, buildAlbert, buildAlbertBatched},
+      {{"BERT-base", "Transformer", "NLP", 976},
+       buildBertBase,
+       buildBertBaseBatched},
+      {{"MobileBERT", "Transformer", "NLP", 2387},
+       buildMobileBert,
+       buildMobileBertBatched},
+      {{"GPT-2", "Transformer", "NLP", 2533}, buildGpt2, buildGpt2Batched},
   };
   return Zoo;
 }
@@ -34,5 +55,24 @@ Graph dnnfusion::buildModel(const std::string &Name) {
   for (const ModelZooEntry &Entry : modelZoo())
     if (Entry.Info.Name == Name)
       return Entry.Build();
+  reportFatalErrorf("unknown model '%s'", Name.c_str());
+}
+
+std::vector<std::string> dnnfusion::batchedModelNames() {
+  std::vector<std::string> Names;
+  for (const ModelZooEntry &Entry : modelZoo())
+    if (Entry.BuildBatched)
+      Names.push_back(Entry.Info.Name);
+  return Names;
+}
+
+Graph dnnfusion::buildModelBatched(const std::string &Name, int64_t Batch) {
+  for (const ModelZooEntry &Entry : modelZoo())
+    if (Entry.Info.Name == Name) {
+      DNNF_CHECK(Entry.BuildBatched,
+                 "model '%s' has no batch-parameterized builder",
+                 Name.c_str());
+      return Entry.BuildBatched(Batch);
+    }
   reportFatalErrorf("unknown model '%s'", Name.c_str());
 }

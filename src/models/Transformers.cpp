@@ -23,6 +23,10 @@ namespace {
 
 struct TransformerConfig {
   uint64_t Seed = 1;
+  /// Leading (batch) dimension. Weight-creation order does not depend on
+  /// it, so every batch of one model carries identical weights — the
+  /// contract the serving layer's batch-variant compilation relies on.
+  int64_t Batch = 1;
   int Layers = 4;
   int64_t Hidden = 64;
   int64_t Heads = 4;
@@ -68,35 +72,37 @@ NodeId softmaxLast(GraphBuilder &B, NodeId X, const TransformerConfig &Cfg) {
   return B.div(E, Sum);
 }
 
-/// Multi-head self-attention over [1, Seq, Width].
+/// Multi-head self-attention over [Batch, Seq, Width].
 NodeId selfAttention(GraphBuilder &B, NodeId X, int64_t Width,
                      const TransformerConfig &Cfg, NodeId CausalMask) {
   int64_t Dh = Width / Cfg.Heads;
   auto Project = [&](NodeId In) {
     NodeId P = B.linear(In, Width);
-    NodeId R = B.reshape(P, {1, Cfg.Seq, Cfg.Heads, Dh});
-    return B.transpose(R, {0, 2, 1, 3}); // [1, H, S, Dh]
+    NodeId R = B.reshape(P, {Cfg.Batch, Cfg.Seq, Cfg.Heads, Dh});
+    return B.transpose(R, {0, 2, 1, 3}); // [N, H, S, Dh]
   };
   NodeId Q = Project(X);
   NodeId K = Project(X);
   NodeId V = Project(X);
-  NodeId Kt = B.transpose(K, {0, 1, 3, 2}); // [1, H, Dh, S]
+  NodeId Kt = B.transpose(K, {0, 1, 3, 2}); // [N, H, Dh, S]
   NodeId Scores = B.op(OpKind::MatMul, {Q, Kt});
   NodeId Scaled =
       B.mul(Scores, B.scalar(1.0f / std::sqrt(static_cast<float>(Dh))));
   if (CausalMask != InvalidNodeId)
     Scaled = B.add(Scaled, CausalMask);
   NodeId Probs = softmaxLast(B, Scaled, Cfg);
-  NodeId Ctx = B.op(OpKind::MatMul, {Probs, V}); // [1, H, S, Dh]
+  NodeId Ctx = B.op(OpKind::MatMul, {Probs, V}); // [N, H, S, Dh]
   NodeId Merged = B.reshape(B.transpose(Ctx, {0, 2, 1, 3}),
-                            {1, Cfg.Seq, Width});
+                            {Cfg.Batch, Cfg.Seq, Width});
   return B.linear(Merged, Width);
 }
 
 Graph buildTransformer(const TransformerConfig &Cfg) {
   GraphBuilder B(Cfg.Seed);
-  NodeId X = B.input(Shape({1, Cfg.Seq, Cfg.Hidden}), "embedded_tokens");
-  // Positional encoding.
+  NodeId X = B.input(Shape({Cfg.Batch, Cfg.Seq, Cfg.Hidden}),
+                     "embedded_tokens");
+  // Positional encoding. Kept at batch 1 (broadcast over the leading dim)
+  // so the weight tensor is identical at every batch.
   NodeId Pos = B.weight(Shape({1, Cfg.Seq, Cfg.Hidden}), 0.1f);
   NodeId H = B.add(X, Pos);
 
@@ -146,9 +152,7 @@ Graph buildTransformer(const TransformerConfig &Cfg) {
   return G;
 }
 
-} // namespace
-
-Graph dnnfusion::buildTinyBert() {
+TransformerConfig tinyBertConfig() {
   TransformerConfig Cfg;
   Cfg.Seed = 101;
   Cfg.Layers = 4;
@@ -156,10 +160,10 @@ Graph dnnfusion::buildTinyBert() {
   Cfg.Heads = 4;
   Cfg.Ffn = 128;
   Cfg.Seq = 32;
-  return buildTransformer(Cfg);
+  return Cfg;
 }
 
-Graph dnnfusion::buildDistilBert() {
+TransformerConfig distilBertConfig() {
   TransformerConfig Cfg;
   Cfg.Seed = 102;
   Cfg.Layers = 6;
@@ -167,10 +171,10 @@ Graph dnnfusion::buildDistilBert() {
   Cfg.Heads = 6;
   Cfg.Ffn = 192;
   Cfg.Seq = 40;
-  return buildTransformer(Cfg);
+  return Cfg;
 }
 
-Graph dnnfusion::buildAlbert() {
+TransformerConfig albertConfig() {
   // ALBERT shares weights across layers but still *executes* every layer;
   // structurally the executed graph matches a 12-layer encoder.
   TransformerConfig Cfg;
@@ -180,10 +184,10 @@ Graph dnnfusion::buildAlbert() {
   Cfg.Heads = 6;
   Cfg.Ffn = 192;
   Cfg.Seq = 40;
-  return buildTransformer(Cfg);
+  return Cfg;
 }
 
-Graph dnnfusion::buildBertBase() {
+TransformerConfig bertBaseConfig() {
   TransformerConfig Cfg;
   Cfg.Seed = 104;
   Cfg.Layers = 12;
@@ -191,10 +195,10 @@ Graph dnnfusion::buildBertBase() {
   Cfg.Heads = 8;
   Cfg.Ffn = 256;
   Cfg.Seq = 40;
-  return buildTransformer(Cfg);
+  return Cfg;
 }
 
-Graph dnnfusion::buildMobileBert() {
+TransformerConfig mobileBertConfig() {
   TransformerConfig Cfg;
   Cfg.Seed = 105;
   Cfg.Layers = 24;
@@ -204,10 +208,10 @@ Graph dnnfusion::buildMobileBert() {
   Cfg.Seq = 32;
   Cfg.Bottleneck = true;
   Cfg.StackedFfns = 4;
-  return buildTransformer(Cfg);
+  return Cfg;
 }
 
-Graph dnnfusion::buildGpt2() {
+TransformerConfig gpt2Config() {
   TransformerConfig Cfg;
   Cfg.Seed = 106;
   Cfg.Layers = 24;
@@ -218,5 +222,46 @@ Graph dnnfusion::buildGpt2() {
   Cfg.Causal = true;
   Cfg.DecomposedSoftmax = true;
   Cfg.TanhGelu = true;
+  return Cfg;
+}
+
+Graph buildAtBatch(TransformerConfig Cfg, int64_t Batch) {
+  Cfg.Batch = Batch;
   return buildTransformer(Cfg);
+}
+
+} // namespace
+
+Graph dnnfusion::buildTinyBert() { return buildTransformer(tinyBertConfig()); }
+Graph dnnfusion::buildTinyBertBatched(int64_t Batch) {
+  return buildAtBatch(tinyBertConfig(), Batch);
+}
+
+Graph dnnfusion::buildDistilBert() {
+  return buildTransformer(distilBertConfig());
+}
+Graph dnnfusion::buildDistilBertBatched(int64_t Batch) {
+  return buildAtBatch(distilBertConfig(), Batch);
+}
+
+Graph dnnfusion::buildAlbert() { return buildTransformer(albertConfig()); }
+Graph dnnfusion::buildAlbertBatched(int64_t Batch) {
+  return buildAtBatch(albertConfig(), Batch);
+}
+
+Graph dnnfusion::buildBertBase() { return buildTransformer(bertBaseConfig()); }
+Graph dnnfusion::buildBertBaseBatched(int64_t Batch) {
+  return buildAtBatch(bertBaseConfig(), Batch);
+}
+
+Graph dnnfusion::buildMobileBert() {
+  return buildTransformer(mobileBertConfig());
+}
+Graph dnnfusion::buildMobileBertBatched(int64_t Batch) {
+  return buildAtBatch(mobileBertConfig(), Batch);
+}
+
+Graph dnnfusion::buildGpt2() { return buildTransformer(gpt2Config()); }
+Graph dnnfusion::buildGpt2Batched(int64_t Batch) {
+  return buildAtBatch(gpt2Config(), Batch);
 }

@@ -47,9 +47,9 @@ NodeId convBnSilu(GraphBuilder &B, NodeId X, int64_t C, int64_t K,
 // VGG-16
 //===----------------------------------------------------------------------===//
 
-Graph dnnfusion::buildVgg16() {
+Graph dnnfusion::buildVgg16Batched(int64_t Batch) {
   GraphBuilder B(201);
-  NodeId X = B.input(Shape({1, 3, 32, 32}), "image");
+  NodeId X = B.input(Shape({Batch, 3, 32, 32}), "image");
   // Convolution stacks (channels scaled by 1/8 from [64..512]).
   const int64_t Stages[5][2] = {{8, 2}, {16, 2}, {32, 3}, {64, 3}, {64, 3}};
   NodeId H = X;
@@ -68,6 +68,8 @@ Graph dnnfusion::buildVgg16() {
   G.verify();
   return G;
 }
+
+Graph dnnfusion::buildVgg16() { return buildVgg16Batched(1); }
 
 //===----------------------------------------------------------------------===//
 // EfficientNet-B0
@@ -101,9 +103,9 @@ NodeId mbConv(GraphBuilder &B, NodeId X, int64_t OutC, int64_t Expand,
 
 } // namespace
 
-Graph dnnfusion::buildEfficientNetB0() {
+Graph dnnfusion::buildEfficientNetB0Batched(int64_t Batch) {
   GraphBuilder B(202);
-  NodeId X = B.input(Shape({1, 3, 32, 32}), "image");
+  NodeId X = B.input(Shape({Batch, 3, 32, 32}), "image");
   NodeId H = convBnSilu(B, X, 8, 3, 2, 1);
   // (expand, channels, repeats, stride, kernel) scaled 1/4 from B0.
   const int64_t Blocks[7][5] = {{1, 4, 1, 1, 3},  {6, 6, 2, 2, 3},
@@ -121,6 +123,8 @@ Graph dnnfusion::buildEfficientNetB0() {
   G.verify();
   return G;
 }
+
+Graph dnnfusion::buildEfficientNetB0() { return buildEfficientNetB0Batched(1); }
 
 //===----------------------------------------------------------------------===//
 // MobileNetV1-SSD
@@ -270,9 +274,9 @@ NodeId doubleConv(GraphBuilder &B, NodeId X, int64_t C) {
 
 } // namespace
 
-Graph dnnfusion::buildUNet() {
+Graph dnnfusion::buildUNetBatched(int64_t Batch) {
   GraphBuilder B(205);
-  NodeId X = B.input(Shape({1, 3, 48, 48}), "image");
+  NodeId X = B.input(Shape({Batch, 3, 48, 48}), "image");
   // Encoder (channels scaled 1/8 from [64..1024]).
   std::vector<NodeId> Skips;
   NodeId H = doubleConv(B, X, 8);
@@ -297,3 +301,5 @@ Graph dnnfusion::buildUNet() {
   G.verify();
   return G;
 }
+
+Graph dnnfusion::buildUNet() { return buildUNetBatched(1); }

@@ -115,11 +115,13 @@ InferenceSession::runValidated(const std::vector<Tensor> &Inputs,
   std::vector<Tensor> Outputs = Ctx->run(Inputs, &Local);
   if (Stats)
     *Stats = Local;
+  double WallMs = Timer.millis();
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Metrics.RequestsServed;
-    Metrics.CumulativeWallMs += Timer.millis();
+    Metrics.CumulativeWallMs += WallMs;
     Metrics.Engine.add(Local.Engine);
+    Metrics.ExecMicros.record(WallMs * 1000.0);
   }
   return Outputs;
 }

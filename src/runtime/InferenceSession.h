@@ -26,6 +26,7 @@
 #define DNNFUSION_RUNTIME_INFERENCESESSION_H
 
 #include "runtime/ExecutionContext.h"
+#include "support/LatencyHistogram.h"
 #include "support/Status.h"
 
 #include <condition_variable>
@@ -59,6 +60,11 @@ struct SessionMetrics {
   /// Many-to-Many kernel calls, and prepack hits/misses — serving-side
   /// observability of which paths requests actually took.
   EngineCounters Engine;
+  /// Per-request execution latency distribution (microseconds; the same
+  /// span CumulativeWallMs sums), so p50/p95/p99 are answerable from a
+  /// metrics snapshot — the serving layer aggregates these across its
+  /// batch-size variant sessions.
+  LatencyHistogram ExecMicros;
 };
 
 /// Thread-safe serving wrapper around one compiled model.

@@ -123,6 +123,49 @@ Status CompilationCache::store(uint64_t Key, const CompiledModel &M,
   return Status();
 }
 
+std::vector<CacheEntryInfo> CompilationCache::entries() const {
+  std::vector<ArtifactInfo> Artifacts = listArtifacts(Dir);
+  std::sort(Artifacts.begin(), Artifacts.end(),
+            [](const ArtifactInfo &A, const ArtifactInfo &B) {
+              return std::tie(A.MtimeSec, A.MtimeNsec, A.Path) <
+                     std::tie(B.MtimeSec, B.MtimeNsec, B.Path);
+            });
+  std::vector<CacheEntryInfo> Out;
+  Out.reserve(Artifacts.size());
+  for (const ArtifactInfo &A : Artifacts) {
+    CacheEntryInfo E;
+    E.Path = A.Path;
+    E.Bytes = A.Bytes;
+    E.MtimeSec = A.MtimeSec;
+    // model-<16 hex digits>.dnnf — listArtifacts already filtered the
+    // prefix/suffix, so the middle is the key.
+    size_t Slash = A.Path.find_last_of('/');
+    std::string Name =
+        Slash == std::string::npos ? A.Path : A.Path.substr(Slash + 1);
+    E.Key = strtoull(Name.substr(6, Name.size() - 11).c_str(), nullptr, 16);
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+Status CompilationCache::verifyEntry(uint64_t Key) const {
+  // loadModel runs the full integrity pipeline (format version, section
+  // checksums, schedule/memory cross-checks); unlike lookup() it is not
+  // followed by an mtime refresh here.
+  Expected<CompiledModel> M = loadModel(pathForKey(Key));
+  return M.ok() ? Status() : M.status();
+}
+
+Status CompilationCache::removeEntry(uint64_t Key) const {
+  std::string Path = pathForKey(Key);
+  struct stat St;
+  if (stat(Path.c_str(), &St) != 0)
+    return Status::errorf(ErrorCode::NotFound, "no cache entry %016llx",
+                          static_cast<unsigned long long>(Key));
+  removeFileIfExists(Path);
+  return Status();
+}
+
 void CompilationCache::evictToBudget(int64_t MaxBytes,
                                      const std::string &Keep) const {
   std::vector<ArtifactInfo> Artifacts = listArtifacts(Dir);

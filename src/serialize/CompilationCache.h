@@ -34,8 +34,17 @@
 #include "runtime/ModelCompiler.h"
 
 #include <string>
+#include <vector>
 
 namespace dnnfusion {
+
+/// One on-disk cache artifact, as enumerated by CompilationCache::entries.
+struct CacheEntryInfo {
+  uint64_t Key = 0;     ///< Content key parsed from the filename.
+  std::string Path;     ///< Absolute-or-relative artifact path.
+  int64_t Bytes = 0;    ///< Artifact size on disk.
+  int64_t MtimeSec = 0; ///< Last-use time (lookup hits refresh it).
+};
 
 /// Handle on one cache directory. Stateless beyond the path; cheap to
 /// construct per call.
@@ -69,11 +78,25 @@ public:
   Status store(uint64_t Key, const CompiledModel &M,
                int64_t MaxBytes = 0) const;
 
-private:
-  /// Removes least-recently-used artifacts (never \p Keep) until the
-  /// directory's model-*.dnnf total is at most \p MaxBytes.
-  void evictToBudget(int64_t MaxBytes, const std::string &Keep) const;
+  /// Every artifact in the directory, least-recently-used first (the
+  /// eviction order). Foreign files and mid-rename temporaries are ignored.
+  std::vector<CacheEntryInfo> entries() const;
 
+  /// Fully deserializes the artifact for \p Key — the same integrity
+  /// checks a lookup hit runs — without refreshing its recency, so
+  /// verification sweeps do not perturb least-recently-used eviction.
+  /// NotFound when absent, DataLoss when present but unusable.
+  Status verifyEntry(uint64_t Key) const;
+
+  /// Removes the artifact for \p Key. NotFound when absent.
+  Status removeEntry(uint64_t Key) const;
+
+  /// Removes least-recently-used artifacts (never \p Keep) until the
+  /// directory's model-*.dnnf total is at most \p MaxBytes. Exposed for
+  /// the dnnf-cache CLI; store() calls it after every budgeted write.
+  void evictToBudget(int64_t MaxBytes, const std::string &Keep = "") const;
+
+private:
   std::string Dir;
 };
 

@@ -1,0 +1,403 @@
+//===- serving/DynamicBatcher.cpp - Arrival-window request batching -------------===//
+
+#include "serving/DynamicBatcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace dnnfusion;
+
+namespace {
+
+std::chrono::microseconds micros(int64_t V) {
+  return std::chrono::microseconds(V);
+}
+
+double elapsedMicros(AdmissionController::Clock::time_point From,
+                     AdmissionController::Clock::time_point To) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(To - From)
+                 .count()) /
+         1000.0;
+}
+
+} // namespace
+
+std::vector<int64_t> DynamicBatcher::bucketLadder(const BatcherOptions &O) {
+  std::vector<int64_t> Ladder;
+  for (int64_t B : O.BatchSizes)
+    if (B >= 1 && B <= O.MaxBatchSize)
+      Ladder.push_back(B);
+  Ladder.push_back(1); // Solo execution must always be available.
+  std::sort(Ladder.begin(), Ladder.end(), std::greater<int64_t>());
+  Ladder.erase(std::unique(Ladder.begin(), Ladder.end()), Ladder.end());
+  return Ladder;
+}
+
+Status DynamicBatcher::checkBatchContract(const ModelSignature &BaseSig,
+                                          const ModelSignature &VariantSig,
+                                          int64_t B) {
+  auto CheckSpecs = [&](const std::vector<TensorSpec> &Lo,
+                        const std::vector<TensorSpec> &Hi,
+                        const char *What) -> Status {
+    if (Lo.size() != Hi.size())
+      return Status::errorf(ErrorCode::FailedPrecondition,
+                            "batch-%lld variant has %zu %ss, batch-1 has %zu",
+                            static_cast<long long>(B), Hi.size(), What,
+                            Lo.size());
+    for (size_t I = 0; I < Lo.size(); ++I) {
+      const TensorSpec &L = Lo[I], &H = Hi[I];
+      bool DimsOk = L.Sh.rank() == H.Sh.rank() && L.Sh.rank() >= 1 &&
+                    H.Sh.dim(0) == B * L.Sh.dim(0);
+      for (int D = 1; DimsOk && D < L.Sh.rank(); ++D)
+        DimsOk = L.Sh.dim(D) == H.Sh.dim(D);
+      if (!DimsOk || L.Ty != H.Ty)
+        return Status::errorf(
+            ErrorCode::FailedPrecondition,
+            "batch-%lld variant %s %zu is %s %s, want leading dim of %s "
+            "scaled by %lld",
+            static_cast<long long>(B), What, I, H.Sh.toString().c_str(),
+            dtypeName(H.Ty), L.Sh.toString().c_str(),
+            static_cast<long long>(B));
+    }
+    return Status();
+  };
+  if (Status S = CheckSpecs(BaseSig.Inputs, VariantSig.Inputs, "input");
+      !S.ok())
+    return S;
+  return CheckSpecs(BaseSig.Outputs, VariantSig.Outputs, "output");
+}
+
+Expected<std::unique_ptr<DynamicBatcher>>
+DynamicBatcher::create(GraphFactory Factory, const CompileOptions &Compile,
+                       const BatcherOptions &Options) {
+  DNNF_CHECK(Factory != nullptr, "DynamicBatcher::create requires a factory");
+  DNNF_CHECK(Options.MaxBatchSize >= 1,
+             "BatcherOptions::MaxBatchSize must be >= 1");
+  Expected<CompiledModel> Base = compileModel(Factory(1), Compile);
+  if (!Base.ok())
+    return Base.status();
+  auto Session =
+      std::make_unique<InferenceSession>(Base.takeValue(), Options.Session);
+  return std::unique_ptr<DynamicBatcher>(
+      new DynamicBatcher(std::move(Factory), Compile, Options,
+                         std::move(Session)));
+}
+
+std::unique_ptr<DynamicBatcher>
+DynamicBatcher::createForModel(CompiledModel Model,
+                               const BatcherOptions &Options) {
+  DNNF_CHECK(Options.MaxBatchSize >= 1,
+             "BatcherOptions::MaxBatchSize must be >= 1");
+  auto Session =
+      std::make_unique<InferenceSession>(std::move(Model), Options.Session);
+  return std::unique_ptr<DynamicBatcher>(new DynamicBatcher(
+      nullptr, CompileOptions(), Options, std::move(Session)));
+}
+
+DynamicBatcher::DynamicBatcher(GraphFactory Factory,
+                               const CompileOptions &Compile,
+                               const BatcherOptions &Options,
+                               std::unique_ptr<InferenceSession> BaseSession)
+    : Factory(std::move(Factory)), Compile(Compile), Opts(Options),
+      Buckets(bucketLadder(Options)), Admission(Options.Admission) {
+  Base = BaseSession.get();
+  Variants.emplace(1, std::move(BaseSession));
+  Counters.BatchSizeCounts.assign(static_cast<size_t>(Opts.MaxBatchSize) + 1,
+                                  0);
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+DynamicBatcher::~DynamicBatcher() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCV.notify_all();
+  Dispatcher.join();
+}
+
+Expected<std::vector<Tensor>>
+DynamicBatcher::submit(const std::vector<Tensor> &Inputs,
+                       int64_t DeadlineMicros) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Submitted;
+  }
+  if (Status S = Base->validateRequest(Inputs); !S.ok()) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.RejectedValidation;
+    return S;
+  }
+  if (Status S = Admission.tryAdmit(); !S.ok()) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.ShedQueueFull;
+    return S;
+  }
+  Clock::time_point Now = Clock::now();
+  auto Req = std::make_shared<Pending>();
+  Req->Inputs = &Inputs;
+  Req->Enqueued = Now;
+  Req->Deadline = Admission.deadlineFor(Now, DeadlineMicros);
+  // Take the future before publishing the request: after the push, the
+  // dispatcher (or the shutdown drain) owns completion.
+  std::future<Expected<std::vector<Tensor>>> Done = Req->Done.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (ShuttingDown) {
+      Admission.release();
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShedShutdown;
+      return Status::error(ErrorCode::FailedPrecondition,
+                           "serving front end is shutting down");
+    }
+    Queue.push_back(Req);
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      if (Queue.size() > Counters.HighWaterQueueDepth)
+        Counters.HighWaterQueueDepth = Queue.size();
+    }
+    // Signal while still holding QueueMutex: the moment the lock drops,
+    // the dispatcher may complete this request, the caller may return
+    // from get(), and the owner may destroy this batcher — a notify
+    // after unlocking would then touch a destroyed condition variable.
+    QueueCV.notify_one();
+  }
+  // Blocks until the dispatcher fulfills the promise. Everything after the
+  // handoff — stats, admission release — is done by the completing side,
+  // so this thread touches no batcher state after get(): a registry evict
+  // may destroy the batcher the moment the last holder lets go.
+  return Done.get();
+}
+
+void DynamicBatcher::dispatchLoop() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  while (true) {
+    QueueCV.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+    if (ShuttingDown)
+      break;
+    // Arrival window: give the batch a chance to fill, bounded by the
+    // oldest request's window so steady sub-saturation traffic still sees
+    // bounded added latency.
+    if (Opts.MaxQueueDelayMicros > 0) {
+      Clock::time_point WindowEnd =
+          Queue.front()->Enqueued + micros(Opts.MaxQueueDelayMicros);
+      while (!ShuttingDown &&
+             Queue.size() < static_cast<size_t>(Opts.MaxBatchSize)) {
+        if (QueueCV.wait_until(Lock, WindowEnd) == std::cv_status::timeout)
+          break;
+      }
+      if (ShuttingDown)
+        break;
+    }
+    std::vector<std::shared_ptr<Pending>> Batch;
+    while (!Queue.empty() &&
+           Batch.size() < static_cast<size_t>(Opts.MaxBatchSize)) {
+      Batch.push_back(std::move(Queue.front()));
+      Queue.pop_front();
+    }
+    Lock.unlock();
+    processBatch(std::move(Batch), Clock::now());
+    Lock.lock();
+  }
+  // Shutdown drain: every queued request completes with a typed status —
+  // nothing is silently dropped.
+  while (!Queue.empty()) {
+    std::shared_ptr<Pending> Req = std::move(Queue.front());
+    Queue.pop_front();
+    Admission.release();
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShedShutdown;
+    }
+    Req->Done.set_value(Status::error(
+        ErrorCode::FailedPrecondition, "serving front end is shutting down"));
+  }
+}
+
+void DynamicBatcher::processBatch(std::vector<std::shared_ptr<Pending>> Batch,
+                                  Clock::time_point DispatchTime) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    for (const std::shared_ptr<Pending> &Req : Batch)
+      Counters.QueueMicros.record(
+          elapsedMicros(Req->Enqueued, DispatchTime));
+  }
+  // Deadline shed pass: expired requests get their typed status now and
+  // never consume execution.
+  std::vector<std::shared_ptr<Pending>> Live;
+  Live.reserve(Batch.size());
+  for (std::shared_ptr<Pending> &Req : Batch) {
+    Status S = Admission.checkDeadline(Req->Deadline, DispatchTime);
+    if (S.ok()) {
+      Live.push_back(std::move(Req));
+      continue;
+    }
+    Admission.release();
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.ShedDeadline;
+    }
+    Req->Done.set_value(std::move(S));
+  }
+  // Greedy bucket decomposition, largest viable bucket first (7 -> 4+2+1).
+  size_t I = 0;
+  while (I < Live.size()) {
+    size_t Remaining = Live.size() - I;
+    size_t Take = 1;
+    for (int64_t B : Buckets) {
+      if (static_cast<size_t>(B) <= Remaining && variantFor(B)) {
+        Take = static_cast<size_t>(B);
+        break;
+      }
+    }
+    executeSubBatch({Live.begin() + static_cast<ptrdiff_t>(I),
+                     Live.begin() + static_cast<ptrdiff_t>(I + Take)});
+    I += Take;
+  }
+}
+
+void DynamicBatcher::executeSubBatch(
+    const std::vector<std::shared_ptr<Pending>> &Requests) {
+  const int64_t K = static_cast<int64_t>(Requests.size());
+  InferenceSession *Session = variantFor(K);
+  DNNF_CHECK(Session != nullptr, "no session for bucket %lld",
+             static_cast<long long>(K));
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.BatchesExecuted;
+    ++Counters.BatchSizeCounts[static_cast<size_t>(K)];
+  }
+
+  auto CompleteAll = [&](const Status &S) {
+    for (const std::shared_ptr<Pending> &Req : Requests) {
+      Admission.release();
+      Req->Done.set_value(Status::error(S.code(), S.message()));
+    }
+  };
+  auto RecordServed = [&]() {
+    Clock::time_point Now = Clock::now();
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Counters.Served += static_cast<uint64_t>(K);
+    for (const std::shared_ptr<Pending> &Req : Requests)
+      Counters.TotalMicros.record(elapsedMicros(Req->Enqueued, Now));
+  };
+
+  if (K == 1) {
+    // Solo bucket: straight through the batch-1 session — by definition
+    // the reference execution batched outputs are compared against.
+    Expected<std::vector<Tensor>> Out = Session->run(*Requests[0]->Inputs);
+    if (Out.ok())
+      RecordServed();
+    Admission.release();
+    Requests[0]->Done.set_value(std::move(Out));
+    return;
+  }
+
+  // Concatenate along the leading dim: request r owns rows
+  // [r * baseDim0, (r+1) * baseDim0) of every batched input and output.
+  const ModelSignature &BaseSig = Base->signature();
+  std::vector<Tensor> Batched;
+  Batched.reserve(BaseSig.Inputs.size());
+  for (size_t In = 0; In < BaseSig.Inputs.size(); ++In) {
+    const TensorSpec &Spec = BaseSig.Inputs[In];
+    std::vector<int64_t> Dims = Spec.Sh.dims();
+    Dims[0] *= K;
+    Tensor T(Shape(std::move(Dims)), Spec.Ty);
+    const size_t PerReq = static_cast<size_t>(Spec.Sh.numElements());
+    for (int64_t R = 0; R < K; ++R)
+      std::memcpy(T.data() + static_cast<size_t>(R) * PerReq,
+                  (*Requests[static_cast<size_t>(R)]->Inputs)[In].data(),
+                  PerReq * sizeof(float));
+    Batched.push_back(std::move(T));
+  }
+
+  Expected<std::vector<Tensor>> Out = Session->run(Batched);
+  if (!Out.ok()) {
+    // The inputs satisfied the batch-1 signature and the variant satisfied
+    // the leading-dim contract, so this is unreachable in practice — but
+    // if it ever fires, every waiter still gets a typed status.
+    CompleteAll(Out.status());
+    return;
+  }
+  RecordServed();
+
+  // Slice each request's rows back out into freshly owned tensors.
+  std::vector<Tensor> &BatchedOut = Out.value();
+  for (int64_t R = 0; R < K; ++R) {
+    std::vector<Tensor> Slices;
+    Slices.reserve(BaseSig.Outputs.size());
+    for (size_t O = 0; O < BaseSig.Outputs.size(); ++O) {
+      const TensorSpec &Spec = BaseSig.Outputs[O];
+      Tensor S(Spec.Sh, Spec.Ty);
+      const size_t PerReq = static_cast<size_t>(Spec.Sh.numElements());
+      std::memcpy(S.data(),
+                  BatchedOut[O].data() + static_cast<size_t>(R) * PerReq,
+                  PerReq * sizeof(float));
+      Slices.push_back(std::move(S));
+    }
+    Admission.release();
+    Requests[static_cast<size_t>(R)]->Done.set_value(std::move(Slices));
+  }
+}
+
+InferenceSession *DynamicBatcher::variantFor(int64_t B) {
+  std::lock_guard<std::mutex> Lock(VariantMutex);
+  auto It = Variants.find(B);
+  if (It != Variants.end())
+    return It->second.get();
+  if (!Factory ||
+      std::find(DeadBuckets.begin(), DeadBuckets.end(), B) !=
+          DeadBuckets.end())
+    return nullptr;
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Counters.VariantCompiles;
+  }
+  // Compile on demand, under VariantMutex: at most one variant compiles at
+  // a time, and submit() never waits on it (the queue lock is untouched).
+  // CompileOptions::CacheDir makes this a warm artifact load after the
+  // first process ever to serve this (model, bucket) pair.
+  Expected<CompiledModel> M = compileModel(Factory(B), Compile);
+  Status Contract =
+      M.ok() ? checkBatchContract(Base->signature(), M->Signature, B)
+             : M.status();
+  if (!Contract.ok()) {
+    // The bucket is unusable (factory broke the leading-dim contract, or
+    // its graph failed to compile at this batch). Remember that and fall
+    // back to smaller buckets — bucket 1 always exists.
+    DeadBuckets.push_back(B);
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Counters.VariantCompileFailures;
+    return nullptr;
+  }
+  auto Session =
+      std::make_unique<InferenceSession>(M.takeValue(), Opts.Session);
+  InferenceSession *Ptr = Session.get();
+  Variants.emplace(B, std::move(Session));
+  return Ptr;
+}
+
+ServingStats DynamicBatcher::stats() const {
+  ServingStats Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Snapshot = Counters;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Snapshot.QueueDepth = Queue.size();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(VariantMutex);
+    for (const auto &Entry : Variants) {
+      SessionMetrics M = Entry.second->metrics();
+      Snapshot.Sessions.RequestsServed += M.RequestsServed;
+      Snapshot.Sessions.RequestsRejected += M.RequestsRejected;
+      Snapshot.Sessions.CumulativeWallMs += M.CumulativeWallMs;
+      Snapshot.Sessions.Engine.add(M.Engine);
+      Snapshot.Sessions.ExecMicros.add(M.ExecMicros);
+    }
+  }
+  return Snapshot;
+}

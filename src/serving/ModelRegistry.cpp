@@ -1,0 +1,143 @@
+//===- serving/ModelRegistry.cpp - Multi-model serving --------------------------===//
+
+#include "serving/ModelRegistry.h"
+
+#include "serialize/ModelSerializer.h"
+
+#include <algorithm>
+
+using namespace dnnfusion;
+
+ModelRegistry::ModelRegistry(RegistryOptions Options)
+    : Opts(std::move(Options)) {}
+
+Status ModelRegistry::insert(const std::string &Name,
+                             std::shared_ptr<DynamicBatcher> Batcher) {
+  auto E = std::make_shared<Entry>();
+  E->Batcher = std::move(Batcher);
+  E->CanonicalName = Name;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Names.count(Name))
+    return Status::errorf(ErrorCode::FailedPrecondition,
+                          "a model named '%s' is already serving (evict it "
+                          "first to replace it)",
+                          Name.c_str());
+  Names.emplace(Name, std::move(E));
+  ++Loads;
+  return Status();
+}
+
+Status ModelRegistry::load(const std::string &Name,
+                           DynamicBatcher::GraphFactory Factory) {
+  // Compile outside the registry lock: loads of different models from
+  // different threads overlap, and lookups never wait on a compile.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(std::move(Factory), Opts.Compile, Opts.Batching);
+  if (!B.ok())
+    return B.status();
+  return insert(Name, std::shared_ptr<DynamicBatcher>(B.takeValue()));
+}
+
+Status ModelRegistry::loadGraph(const std::string &Name, Graph G) {
+  Expected<CompiledModel> M = compileModel(std::move(G), Opts.Compile);
+  if (!M.ok())
+    return M.status();
+  return insert(Name, std::shared_ptr<DynamicBatcher>(
+                          DynamicBatcher::createForModel(M.takeValue(),
+                                                         Opts.Batching)));
+}
+
+Status ModelRegistry::loadArtifact(const std::string &Name,
+                                   const std::string &Path) {
+  Expected<CompiledModel> M = loadModel(Path);
+  if (!M.ok())
+    return M.status();
+  return insert(Name, std::shared_ptr<DynamicBatcher>(
+                          DynamicBatcher::createForModel(M.takeValue(),
+                                                         Opts.Batching)));
+}
+
+Status ModelRegistry::alias(const std::string &Alias,
+                            const std::string &Target) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Names.find(Target);
+  if (It == Names.end())
+    return Status::errorf(ErrorCode::NotFound,
+                          "no model named '%s' to alias", Target.c_str());
+  if (Names.count(Alias))
+    return Status::errorf(ErrorCode::FailedPrecondition,
+                          "the name '%s' is already bound", Alias.c_str());
+  Names.emplace(Alias, It->second);
+  return Status();
+}
+
+Status ModelRegistry::evict(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Names.find(Name);
+  if (It == Names.end())
+    return Status::errorf(ErrorCode::NotFound, "no model named '%s'",
+                          Name.c_str());
+  if (It->second->CanonicalName != Name) {
+    // Alias: detach just this name; the model keeps serving.
+    Names.erase(It);
+    return Status();
+  }
+  // Canonical: detach the model and every alias bound to it. In-flight
+  // holders of the shared_ptr keep the batcher alive until they drain.
+  std::shared_ptr<Entry> E = It->second;
+  for (auto NIt = Names.begin(); NIt != Names.end();) {
+    if (NIt->second == E)
+      NIt = Names.erase(NIt);
+    else
+      ++NIt;
+  }
+  ++Evictions;
+  return Status();
+}
+
+Expected<std::shared_ptr<DynamicBatcher>>
+ModelRegistry::acquire(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Names.find(Name);
+  if (It == Names.end())
+    return Status::errorf(ErrorCode::NotFound, "no model named '%s'",
+                          Name.c_str());
+  return It->second->Batcher;
+}
+
+Expected<std::vector<Tensor>>
+ModelRegistry::run(const std::string &Name, const std::vector<Tensor> &Inputs,
+                   int64_t DeadlineMicros) {
+  Expected<std::shared_ptr<DynamicBatcher>> B = acquire(Name);
+  if (!B.ok())
+    return B.status();
+  // The shared_ptr held across submit() is what makes a concurrent evict
+  // safe: the batcher outlives this request no matter what the registry
+  // does to the name.
+  return B.value()->submit(Inputs, DeadlineMicros);
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out.reserve(Names.size());
+    for (const auto &N : Names)
+      Out.push_back(N.first);
+  }
+  return Out; // std::map iteration is already sorted.
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RegistryStats S;
+  S.Loads = Loads;
+  S.Evictions = Evictions;
+  for (const auto &N : Names) {
+    if (N.second->CanonicalName == N.first)
+      ++S.Models;
+    else
+      ++S.Aliases;
+  }
+  return S;
+}

@@ -1,0 +1,129 @@
+//===- serving/ModelRegistry.h - Multi-model serving -------------*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process, many models: a name -> serving-front-end registry so a
+/// deployment serves its whole zoo from one address space. Each loaded
+/// model gets its own DynamicBatcher (queue + admission + batch-variant
+/// sessions); loads compile through the shared CompileOptions — with a
+/// CacheDir configured, every load after the first process start is a warm
+/// artifact read, which is the intended deployment shape: distribute
+/// cached .dnnf artifacts, not source graphs.
+///
+/// Lifecycle is refcount-safe against in-flight traffic: acquire() hands
+/// out a shared_ptr to the model's front end, evict() only detaches the
+/// name — the front end (and its compiled variants) is destroyed when the
+/// last in-flight holder lets go, so eviction under load never aborts a
+/// request that already held the model. Aliases let one deployment expose
+/// stable public names ("default", "canary") over versioned loads.
+///
+/// All name-resolution failures come back as typed Status (NotFound /
+/// FailedPrecondition) through the recoverable error model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SERVING_MODELREGISTRY_H
+#define DNNFUSION_SERVING_MODELREGISTRY_H
+
+#include "serving/DynamicBatcher.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Registry-wide configuration, applied to every loaded model.
+struct RegistryOptions {
+  /// Compile pipeline for load() / loadGraph(). Set CacheDir to make every
+  /// load (and every batch-variant compile) consult the on-disk artifact
+  /// cache.
+  CompileOptions Compile;
+  /// Queueing/batching/admission knobs for every model's front end.
+  BatcherOptions Batching;
+};
+
+/// Counters snapshot (see ModelRegistry::stats).
+struct RegistryStats {
+  /// Models (canonical names) currently serving.
+  size_t Models = 0;
+  /// Alias names currently attached.
+  size_t Aliases = 0;
+  uint64_t Loads = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Thread-safe multi-model serving registry.
+class ModelRegistry {
+public:
+  explicit ModelRegistry(RegistryOptions Options = {});
+
+  const RegistryOptions &options() const { return Opts; }
+
+  /// Compiles and serves a batch-parameterized model family under \p Name
+  /// (see DynamicBatcher::create). Duplicate names are FailedPrecondition;
+  /// a factory whose batch-1 graph fails to compile returns that error and
+  /// registers nothing.
+  Status load(const std::string &Name, DynamicBatcher::GraphFactory Factory);
+
+  /// Compiles and serves one fixed graph under \p Name: queue + admission
+  /// without leading-dim coalescing (there is no factory to build batch
+  /// variants from).
+  Status loadGraph(const std::string &Name, Graph G);
+
+  /// Serves a persisted artifact (docs/FORMAT.md) under \p Name. The file
+  /// is untrusted input: a corrupt artifact is a DataLoss rejection, never
+  /// an abort. Like loadGraph, batch-1 only.
+  Status loadArtifact(const std::string &Name, const std::string &Path);
+
+  /// Attaches \p Alias to the model currently named \p Target (itself
+  /// possibly an alias; the binding resolves to the canonical model now,
+  /// so re-pointing Target later does not move Alias).
+  Status alias(const std::string &Alias, const std::string &Target);
+
+  /// Detaches \p Name. For an alias, only the alias goes away. For a
+  /// canonical name, the model and every alias bound to it are detached.
+  /// In-flight requests (and acquire() holders) keep the model alive until
+  /// they finish; new lookups fail with NotFound immediately.
+  Status evict(const std::string &Name);
+
+  /// The serving front end for \p Name. Hold the returned shared_ptr for
+  /// as long as requests are in flight — it is the eviction refcount.
+  Expected<std::shared_ptr<DynamicBatcher>>
+  acquire(const std::string &Name) const;
+
+  /// Convenience: acquire + submit + release in one call.
+  Expected<std::vector<Tensor>> run(const std::string &Name,
+                                    const std::vector<Tensor> &Inputs,
+                                    int64_t DeadlineMicros = 0);
+
+  /// Every resolvable name (canonical and alias), sorted.
+  std::vector<std::string> names() const;
+
+  RegistryStats stats() const;
+
+private:
+  /// Registers \p Batcher under \p Name (must not exist yet).
+  Status insert(const std::string &Name,
+                std::shared_ptr<DynamicBatcher> Batcher);
+
+  /// One served model; aliases share the entry via shared_ptr.
+  struct Entry {
+    std::shared_ptr<DynamicBatcher> Batcher;
+    std::string CanonicalName;
+  };
+
+  RegistryOptions Opts;
+  mutable std::mutex Mutex;
+  std::map<std::string, std::shared_ptr<Entry>> Names;
+  uint64_t Loads = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SERVING_MODELREGISTRY_H

@@ -1,0 +1,103 @@
+//===- support/LatencyHistogram.h - Serving latency percentiles --*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size geometric-bucket histogram for request latencies, built for
+/// the serving metrics path: record() is a couple of arithmetic ops and one
+/// array increment (no allocation, no lock — callers hold their own), the
+/// whole struct is trivially copyable so metric snapshots are plain struct
+/// copies, and percentile() answers the p50/p95/p99 questions the serving
+/// bench and dashboards ask. Buckets grow by a factor of 2^(1/4) per step
+/// (four buckets per doubling, ~19% relative resolution), spanning 1 us to
+/// beyond an hour — more than any request this runtime serves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_LATENCYHISTOGRAM_H
+#define DNNFUSION_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace dnnfusion {
+
+/// Monotonic latency distribution in microseconds. Value semantics: merge
+/// with add(), snapshot by copy. Not internally synchronized.
+struct LatencyHistogram {
+  /// Four buckets per doubling: bucket I covers [2^(I/4), 2^((I+1)/4)) us,
+  /// bucket 0 additionally absorbs everything below 1 us. 128 buckets
+  /// reach 2^32 us (~71 minutes); the last bucket absorbs anything above.
+  static constexpr int NumBuckets = 128;
+
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  double SumMicros = 0.0;
+  double MaxMicros = 0.0;
+
+  /// Records one observation of \p Micros.
+  void record(double Micros) {
+    ++Count;
+    SumMicros += Micros;
+    if (Micros > MaxMicros)
+      MaxMicros = Micros;
+    ++Buckets[static_cast<size_t>(bucketFor(Micros))];
+  }
+
+  /// Merges \p Other into this histogram.
+  void add(const LatencyHistogram &Other) {
+    for (int I = 0; I < NumBuckets; ++I)
+      Buckets[static_cast<size_t>(I)] += Other.Buckets[static_cast<size_t>(I)];
+    Count += Other.Count;
+    SumMicros += Other.SumMicros;
+    if (Other.MaxMicros > MaxMicros)
+      MaxMicros = Other.MaxMicros;
+  }
+
+  /// The latency (microseconds) at percentile \p P in [0, 100]: the upper
+  /// bound of the bucket holding the P-th percentile observation, so the
+  /// answer over-reports by at most one bucket width (~19%) and never
+  /// under-reports. 0 when empty.
+  double percentile(double P) const {
+    if (Count == 0)
+      return 0.0;
+    // Rank of the observation we are after, 1-based, clamped to [1, Count].
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 *
+                                          static_cast<double>(Count) + 0.5);
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Count)
+      Rank = Count;
+    uint64_t Seen = 0;
+    for (int I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[static_cast<size_t>(I)];
+      if (Seen >= Rank)
+        return bucketUpperMicros(I);
+    }
+    return bucketUpperMicros(NumBuckets - 1);
+  }
+
+  double meanMicros() const {
+    return Count ? SumMicros / static_cast<double>(Count) : 0.0;
+  }
+
+  /// Bucket index for \p Micros (see NumBuckets doc).
+  static int bucketFor(double Micros) {
+    if (!(Micros > 1.0))
+      return 0;
+    int I = static_cast<int>(std::floor(std::log2(Micros) * 4.0));
+    return I < NumBuckets ? I : NumBuckets - 1;
+  }
+
+  /// Upper bound, in microseconds, of bucket \p I.
+  static double bucketUpperMicros(int I) {
+    return std::exp2(static_cast<double>(I + 1) / 4.0);
+  }
+};
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_LATENCYHISTOGRAM_H

@@ -22,6 +22,10 @@ const char *dnnfusion::errorCodeName(ErrorCode Code) {
     return "failed_precondition";
   case ErrorCode::DataLoss:
     return "data_loss";
+  case ErrorCode::ResourceExhausted:
+    return "resource_exhausted";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
   case ErrorCode::Internal:
     return "internal";
   }

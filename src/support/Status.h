@@ -43,6 +43,14 @@ enum class ErrorCode {
   /// serialized artifacts as untrusted input and report every malformed
   /// stream with this code (the compilation cache reacts by recompiling).
   DataLoss,
+  /// The receiver is over capacity and sheds the request instead of
+  /// queueing it unboundedly (the serving layer's backpressure signal:
+  /// a full admission queue). Retry later, ideally with backoff.
+  ResourceExhausted,
+  /// The request's deadline passed before execution started; the serving
+  /// layer sheds it instead of wasting compute on an answer nobody is
+  /// still waiting for.
+  DeadlineExceeded,
   /// Should-never-happen wrapped as a recoverable error at the boundary.
   Internal,
 };

@@ -533,6 +533,58 @@ TEST_F(CompilationCacheTest, LruEvictionHonorsBudgetAndRecency) {
   removeFileIfExists(PathC);
 }
 
+TEST_F(CompilationCacheTest, InspectionApiListsVerifiesRemovesAndEvicts) {
+  // The surface behind the dnnf-cache CLI: entries / verifyEntry /
+  // removeEntry / public evictToBudget.
+  auto Build = [](uint64_t Seed) {
+    GraphBuilder B(Seed);
+    NodeId X = B.input(Shape({4, 8}));
+    NodeId W = B.weight(Shape({8, 8}));
+    B.markOutput(B.relu(B.binary(OpKind::MatMul, X, W)));
+    return B.take();
+  };
+  Graph GA = Build(10), GB = Build(11);
+  CompileOptions Opt;
+  Opt.CacheDir = Dir;
+  CompilationCache Cache(Dir);
+  const uint64_t KeyA = CompilationCache::fingerprint(GA, Opt);
+  const uint64_t KeyB = CompilationCache::fingerprint(GB, Opt);
+  cantFail(compileModel(GA, Opt));
+  cantFail(compileModel(GB, Opt));
+
+  // entries() sees both, with keys parsed back from the filenames and the
+  // path/size agreeing with the filesystem.
+  std::vector<CacheEntryInfo> Entries = Cache.entries();
+  ASSERT_EQ(Entries.size(), 2u);
+  for (const CacheEntryInfo &E : Entries) {
+    EXPECT_TRUE(E.Key == KeyA || E.Key == KeyB);
+    EXPECT_EQ(E.Path, Cache.pathForKey(E.Key));
+    EXPECT_GT(E.Bytes, 0);
+  }
+
+  // Verification: clean entries pass, a bit-flipped one reports an error
+  // (and never aborts), a missing key is NotFound.
+  EXPECT_TRUE(Cache.verifyEntry(KeyA).ok());
+  EXPECT_TRUE(Cache.verifyEntry(KeyB).ok());
+  std::string PathB = Cache.pathForKey(KeyB);
+  Expected<std::string> Bytes = readFileBytes(PathB);
+  ASSERT_TRUE(Bytes.ok());
+  std::string Corrupt = *Bytes;
+  Corrupt[Corrupt.size() / 2] ^= 0x40;
+  ASSERT_TRUE(writeFileAtomic(PathB, Corrupt).ok());
+  EXPECT_FALSE(Cache.verifyEntry(KeyB).ok());
+  EXPECT_EQ(Cache.verifyEntry(~KeyA).code(), ErrorCode::NotFound);
+
+  // removeEntry: present -> gone; absent -> typed NotFound.
+  EXPECT_TRUE(Cache.removeEntry(KeyB).ok());
+  EXPECT_FALSE(fileExists(PathB));
+  EXPECT_EQ(Cache.removeEntry(KeyB).code(), ErrorCode::NotFound);
+
+  // Public evictToBudget: a zero budget clears every remaining artifact.
+  Cache.evictToBudget(0);
+  EXPECT_TRUE(Cache.entries().empty());
+}
+
 TEST_F(CompilationCacheTest, VersionDriftColdStartsInsteadOfFailing) {
   CompileOptions Opt;
   Opt.CacheDir = Dir;

@@ -1,0 +1,549 @@
+//===- tests/test_serving.cpp - The dynamic-batching serving front end -----------===//
+//
+// The serving layer's contract, end to end: batched execution is
+// bit-identical to solo execution across the batch-parameterized zoo,
+// admission control sheds with typed statuses (never aborts, never drops),
+// the pool stays serviceable after every rejection storm, and the
+// multi-model registry survives concurrent load/evict/run races (this file
+// runs under TSAN in CI). Saturation behavior is probabilistic by nature,
+// so tests assert on invariants — every submit resolves exactly one way —
+// rather than on timing.
+//
+//===----------------------------------------------------------------------===//
+
+#include <dnnfusion/dnnfusion.h>
+
+#include "models/ModelZoo.h"
+#include "support/FileIO.h"
+#include "support/LatencyHistogram.h"
+#include "tensor/TensorUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace dnnfusion;
+
+namespace {
+
+/// A tiny two-layer MLP at leading-dim batch \p Batch; weights identical at
+/// every batch (same seed, same weight order).
+Graph mlp(int64_t Batch) {
+  GraphBuilder B(77);
+  NodeId X = B.input(Shape({Batch, 16}), "features");
+  NodeId H = B.relu(B.linear(X, 32));
+  B.markOutput(B.softmax(B.linear(H, 8), -1));
+  return B.take();
+}
+
+/// Distinct deterministic inputs for request \p R of a model with \p Sig.
+std::vector<Tensor> requestInputs(const ModelSignature &Sig, uint64_t R) {
+  Rng Rand(1000 + R);
+  std::vector<Tensor> Inputs;
+  for (const TensorSpec &Spec : Sig.Inputs) {
+    Tensor T(Spec.Sh, Spec.Ty);
+    fillRandom(T, Rand, 0.2f, 1.2f);
+    Inputs.push_back(std::move(T));
+  }
+  return Inputs;
+}
+
+void expectBitIdentical(const std::vector<Tensor> &A,
+                        const std::vector<Tensor> &B, const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t O = 0; O < A.size(); ++O) {
+    ASSERT_EQ(A[O].shape().toString(), B[O].shape().toString()) << What;
+    const float *Pa = A[O].data();
+    const float *Pb = B[O].data();
+    for (int64_t I = 0; I < A[O].shape().numElements(); ++I)
+      ASSERT_EQ(Pa[I], Pb[I]) << What << " output " << O << " element " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogram, PercentileBracketsRecordedValues) {
+  LatencyHistogram H;
+  for (int I = 1; I <= 1000; ++I)
+    H.record(static_cast<double>(I)); // 1..1000 us, uniform.
+  EXPECT_EQ(H.Count, 1000u);
+  EXPECT_DOUBLE_EQ(H.MaxMicros, 1000.0);
+  // Geometric buckets over-report by at most one bucket width (2^(1/4)).
+  double P50 = H.percentile(50.0);
+  EXPECT_GE(P50, 500.0 * 0.8);
+  EXPECT_LE(P50, 500.0 * 1.3);
+  double P99 = H.percentile(99.0);
+  EXPECT_GE(P99, 990.0 * 0.8);
+  EXPECT_LE(P99, 990.0 * 1.3);
+  EXPECT_NEAR(H.meanMicros(), 500.5, 0.01);
+}
+
+TEST(LatencyHistogram, AddMergesDistributions) {
+  LatencyHistogram A, B;
+  A.record(10.0);
+  B.record(1000.0);
+  A.add(B);
+  EXPECT_EQ(A.Count, 2u);
+  EXPECT_DOUBLE_EQ(A.MaxMicros, 1000.0);
+  EXPECT_GE(A.percentile(99.0), 1000.0 * 0.8);
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero) {
+  LatencyHistogram H;
+  EXPECT_DOUBLE_EQ(H.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(H.meanMicros(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// AdmissionController
+//===----------------------------------------------------------------------===//
+
+TEST(AdmissionController, BoundedQueueRejectsWithResourceExhausted) {
+  AdmissionOptions O;
+  O.MaxQueueDepth = 2;
+  AdmissionController A(O);
+  EXPECT_TRUE(A.tryAdmit().ok());
+  EXPECT_TRUE(A.tryAdmit().ok());
+  Status S = A.tryAdmit();
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::ResourceExhausted);
+  A.release();
+  EXPECT_TRUE(A.tryAdmit().ok()); // Capacity returns after release.
+  AdmissionStats St = A.stats();
+  EXPECT_EQ(St.Admitted, 3u);
+  EXPECT_EQ(St.RejectedQueueFull, 1u);
+  EXPECT_EQ(St.Depth, 2u);
+  EXPECT_EQ(St.HighWaterDepth, 2u);
+}
+
+TEST(AdmissionController, DeadlineCheckShedsExpiredRequests) {
+  AdmissionController A((AdmissionOptions()));
+  auto Now = AdmissionController::Clock::now();
+  EXPECT_TRUE(A.checkDeadline(AdmissionController::noDeadline(), Now).ok());
+  EXPECT_TRUE(A.checkDeadline(Now + std::chrono::seconds(1), Now).ok());
+  Status S = A.checkDeadline(Now - std::chrono::milliseconds(5), Now);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(A.stats().ShedDeadline, 1u);
+}
+
+TEST(AdmissionController, DefaultDeadlineAppliesWhenRequestGivesNone) {
+  AdmissionOptions O;
+  O.DefaultDeadlineMicros = 1000;
+  AdmissionController A(O);
+  auto Now = AdmissionController::Clock::now();
+  auto D = A.deadlineFor(Now, 0);
+  EXPECT_EQ(D, Now + std::chrono::microseconds(1000));
+  // An explicit per-request deadline overrides the default.
+  EXPECT_EQ(A.deadlineFor(Now, 5000), Now + std::chrono::microseconds(5000));
+}
+
+//===----------------------------------------------------------------------===//
+// DynamicBatcher: batched vs solo bit-identity
+//===----------------------------------------------------------------------===//
+
+/// Runs \p NumRequests concurrent submits through a batching front end and
+/// asserts every request's outputs are bit-identical to solo batch-1
+/// execution of the same inputs.
+void expectBatchedMatchesSolo(DynamicBatcher::GraphFactory Factory,
+                              int NumRequests, const char *What) {
+  CompileOptions Compile;
+  Expected<CompiledModel> Solo = compileModel(Factory(1), Compile);
+  ASSERT_TRUE(Solo.ok()) << What << ": " << Solo.status().toString();
+  InferenceSession SoloSession(Solo.takeValue());
+
+  BatcherOptions O;
+  O.MaxBatchSize = 8;
+  O.BatchSizes = {1, 2, 4, 8};
+  O.MaxQueueDelayMicros = 50000; // Wide window: coalesce all requests.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(Factory, Compile, O);
+  ASSERT_TRUE(B.ok()) << What << ": " << B.status().toString();
+  DynamicBatcher &Batcher = *B.value();
+
+  std::vector<std::vector<Tensor>> Inputs;
+  std::vector<std::vector<Tensor>> SoloOut;
+  for (int R = 0; R < NumRequests; ++R) {
+    Inputs.push_back(requestInputs(Batcher.signature(),
+                                   static_cast<uint64_t>(R)));
+    Expected<std::vector<Tensor>> Out = SoloSession.run(Inputs.back());
+    ASSERT_TRUE(Out.ok()) << What << ": " << Out.status().toString();
+    SoloOut.push_back(Out.takeValue());
+  }
+
+  std::vector<Expected<std::vector<Tensor>>> Served(
+      static_cast<size_t>(NumRequests),
+      Expected<std::vector<Tensor>>(
+          Status::error(ErrorCode::Internal, "request never resolved")));
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < NumRequests; ++R)
+    Threads.emplace_back([&, R] {
+      Served[static_cast<size_t>(R)] =
+          Batcher.submit(Inputs[static_cast<size_t>(R)]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int R = 0; R < NumRequests; ++R) {
+    ASSERT_TRUE(Served[static_cast<size_t>(R)].ok())
+        << What << " request " << R << ": "
+        << Served[static_cast<size_t>(R)].status().toString();
+    expectBitIdentical(SoloOut[static_cast<size_t>(R)],
+                       Served[static_cast<size_t>(R)].value(), What);
+  }
+
+  ServingStats S = Batcher.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(NumRequests));
+  EXPECT_EQ(S.Served, static_cast<uint64_t>(NumRequests));
+  EXPECT_EQ(S.TotalMicros.Count, static_cast<uint64_t>(NumRequests));
+  EXPECT_EQ(S.QueueMicros.Count, static_cast<uint64_t>(NumRequests));
+}
+
+TEST(DynamicBatcher, MlpBatchedBitIdenticalToSolo) {
+  expectBatchedMatchesSolo(mlp, 7, "MLP"); // 7 -> greedy 4 + 2 + 1.
+}
+
+TEST(DynamicBatcher, ZooBatchedBitIdenticalToSolo) {
+  // The batch-parameterized zoo: one transformer of each export flavor plus
+  // the CNNs (the remaining transformers share the same builder skeleton).
+  for (const char *Name : {"TinyBERT", "GPT-2", "VGG-16", "U-Net"}) {
+    auto Factory = [Name](int64_t Batch) {
+      return buildModelBatched(Name, Batch);
+    };
+    expectBatchedMatchesSolo(Factory, 5, Name); // 5 -> greedy 4 + 1.
+  }
+}
+
+TEST(DynamicBatcher, BatchedBuilderAtBatchOneMatchesZooBuilder) {
+  // The weight-identity contract the factory relies on: batched builders at
+  // B=1 reproduce the zoo builder bit-for-bit.
+  for (const std::string &Name : batchedModelNames()) {
+    Expected<CompiledModel> A = compileModel(buildModel(Name));
+    Expected<CompiledModel> B = compileModel(buildModelBatched(Name, 1));
+    ASSERT_TRUE(A.ok() && B.ok()) << Name;
+    InferenceSession Sa(A.takeValue()), Sb(B.takeValue());
+    std::vector<Tensor> In = requestInputs(Sa.signature(), 7);
+    Expected<std::vector<Tensor>> Oa = Sa.run(In);
+    Expected<std::vector<Tensor>> Ob = Sb.run(In);
+    ASSERT_TRUE(Oa.ok() && Ob.ok()) << Name;
+    expectBitIdentical(Oa.value(), Ob.value(), Name.c_str());
+  }
+}
+
+TEST(DynamicBatcher, CoalescesConcurrentRequestsIntoFewerExecutions) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxBatchSize = 8;
+  O.MaxQueueDelayMicros = 100000; // Wide enough to definitely coalesce.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 1);
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < 8; ++R)
+    Threads.emplace_back([&] {
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+      EXPECT_TRUE(Out.ok());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.Served, 8u);
+  // 8 requests in a 100 ms window on one dispatcher must coalesce: strictly
+  // fewer executions than requests.
+  EXPECT_LT(S.BatchesExecuted, 8u);
+  uint64_t WeightedRequests = 0;
+  for (size_t K = 0; K < S.BatchSizeCounts.size(); ++K)
+    WeightedRequests += static_cast<uint64_t>(K) * S.BatchSizeCounts[K];
+  EXPECT_EQ(WeightedRequests, 8u); // Every request in exactly one batch.
+}
+
+//===----------------------------------------------------------------------===//
+// Saturation: shedding is typed, the pool survives
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicBatcher, QueueFullRejectsThenServes) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.Admission.MaxQueueDepth = 1;
+  O.MaxQueueDelayMicros = 100000; // Hold the first request in the window.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 2);
+
+  std::thread First([&] {
+    Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+    EXPECT_TRUE(Out.ok());
+  });
+  // Wait until the first request owns the queue slot.
+  while (B.value()->stats().QueueDepth == 0 &&
+         B.value()->stats().Served == 0)
+    std::this_thread::yield();
+
+  Expected<std::vector<Tensor>> Rejected = B.value()->submit(In);
+  if (!Rejected.ok()) { // Racing with completion: rejection is the norm.
+    EXPECT_EQ(Rejected.status().code(), ErrorCode::ResourceExhausted);
+  }
+  First.join();
+
+  // Pool integrity: once the queue drains, the same front end serves again.
+  Expected<std::vector<Tensor>> After = B.value()->submit(In);
+  EXPECT_TRUE(After.ok()) << After.status().toString();
+}
+
+TEST(DynamicBatcher, DeadlineStormShedsEveryExpiredRequestTyped) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxQueueDelayMicros = 20000; // Requests sit 20 ms before dispatch.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 3);
+
+  const int N = 6;
+  std::atomic<int> Shed{0}, ServedCount{0};
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < N; ++R)
+    Threads.emplace_back([&] {
+      // 1 us deadline: expired long before the 20 ms window closes.
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In, 1);
+      if (Out.ok()) {
+        ++ServedCount;
+      } else {
+        EXPECT_EQ(Out.status().code(), ErrorCode::DeadlineExceeded)
+            << Out.status().toString();
+        ++Shed;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Shed + ServedCount, N); // Every request resolved exactly once.
+  EXPECT_GT(Shed.load(), 0);        // The storm actually shed.
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.ShedDeadline, static_cast<uint64_t>(Shed.load()));
+
+  // Pool integrity: an undeadlined request after the storm is served.
+  Expected<std::vector<Tensor>> After = B.value()->submit(In);
+  EXPECT_TRUE(After.ok()) << After.status().toString();
+  EXPECT_EQ(B.value()->stats().Served,
+            static_cast<uint64_t>(ServedCount.load()) + 1);
+}
+
+TEST(DynamicBatcher, ShutdownDrainsQueuedRequestsWithTypedStatus) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxQueueDelayMicros = 500000; // Long window: requests stay queued.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 4);
+
+  const int N = 3;
+  std::atomic<int> Resolved{0};
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < N; ++R)
+    Threads.emplace_back([&] {
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+      // Drained requests get FailedPrecondition; a request that raced
+      // ahead of shutdown may have been served. Both are clean exits.
+      if (!Out.ok()) {
+        EXPECT_EQ(Out.status().code(), ErrorCode::FailedPrecondition)
+            << Out.status().toString();
+      }
+      ++Resolved;
+    });
+  while (B.value()->stats().QueueDepth < N &&
+         B.value()->stats().Served + B.value()->stats().ShedShutdown <
+             static_cast<uint64_t>(N))
+    std::this_thread::yield();
+  B.value().reset(); // Destruction drains: no submit may hang or abort.
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Resolved.load(), N);
+}
+
+TEST(DynamicBatcher, BrokenFactoryFallsBackToSoloExecution) {
+  // A factory that ignores the batch argument breaks the leading-dim
+  // contract for every bucket > 1: the batcher must mark those buckets
+  // dead and still serve every request through the batch-1 session.
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxQueueDelayMicros = 30000;
+  auto Broken = [](int64_t) { return mlp(1); };
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(Broken, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 5);
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < 4; ++R)
+    Threads.emplace_back([&] {
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+      EXPECT_TRUE(Out.ok()) << Out.status().toString();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.Served, 4u);
+  EXPECT_GT(S.VariantCompileFailures, 0u);
+  // Only bucket 1 executions happened.
+  for (size_t K = 2; K < S.BatchSizeCounts.size(); ++K)
+    EXPECT_EQ(S.BatchSizeCounts[K], 0u) << "bucket " << K;
+}
+
+TEST(DynamicBatcher, InvalidRequestIsRejectedBeforeQueueing) {
+  CompileOptions Compile;
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, {});
+  ASSERT_TRUE(B.ok());
+  Expected<std::vector<Tensor>> Out =
+      B.value()->submit({Tensor::full(Shape({3, 3}), 1.0f)});
+  ASSERT_FALSE(Out.ok());
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.RejectedValidation, 1u);
+  EXPECT_EQ(S.QueueMicros.Count, 0u); // Never queued.
+}
+
+//===----------------------------------------------------------------------===//
+// ModelRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(ModelRegistry, LoadAliasRunEvict) {
+  ModelRegistry R;
+  ASSERT_TRUE(R.load("mlp-v1", mlp).ok());
+  ASSERT_TRUE(R.alias("default", "mlp-v1").ok());
+  EXPECT_EQ(R.names(), (std::vector<std::string>{"default", "mlp-v1"}));
+
+  Expected<std::shared_ptr<DynamicBatcher>> B = R.acquire("default");
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 6);
+  Expected<std::vector<Tensor>> Out = R.run("default", In);
+  ASSERT_TRUE(Out.ok()) << Out.status().toString();
+
+  // Duplicate and dangling names are typed rejections.
+  EXPECT_EQ(R.load("mlp-v1", mlp).code(), ErrorCode::FailedPrecondition);
+  EXPECT_EQ(R.alias("default", "mlp-v1").code(),
+            ErrorCode::FailedPrecondition);
+  EXPECT_EQ(R.alias("x", "nope").code(), ErrorCode::NotFound);
+
+  // Evicting the canonical name detaches its aliases too.
+  ASSERT_TRUE(R.evict("mlp-v1").ok());
+  EXPECT_TRUE(R.names().empty());
+  EXPECT_EQ(R.run("default", In).status().code(), ErrorCode::NotFound);
+
+  // The acquired handle outlives the evict — in-flight traffic finishes.
+  Expected<std::vector<Tensor>> Late = B.value()->submit(In);
+  EXPECT_TRUE(Late.ok()) << Late.status().toString();
+
+  RegistryStats St = R.stats();
+  EXPECT_EQ(St.Loads, 1u);
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.Models, 0u);
+}
+
+TEST(ModelRegistry, EvictingAliasKeepsModelServing) {
+  ModelRegistry R;
+  ASSERT_TRUE(R.load("m", mlp).ok());
+  ASSERT_TRUE(R.alias("a", "m").ok());
+  ASSERT_TRUE(R.evict("a").ok());
+  EXPECT_EQ(R.names(), std::vector<std::string>{"m"});
+  EXPECT_EQ(R.stats().Evictions, 0u); // Alias detach is not a model evict.
+  std::vector<Tensor> In;
+  Expected<std::shared_ptr<DynamicBatcher>> B = R.acquire("m");
+  ASSERT_TRUE(B.ok());
+  In = requestInputs(B.value()->signature(), 8);
+  EXPECT_TRUE(R.run("m", In).ok());
+}
+
+TEST(ModelRegistry, GraphAndArtifactLoadsServeBatchOne) {
+  ModelRegistry R;
+  ASSERT_TRUE(R.loadGraph("fixed", mlp(1)).ok());
+  Expected<std::shared_ptr<DynamicBatcher>> B = R.acquire("fixed");
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 9);
+  EXPECT_TRUE(R.run("fixed", In).ok());
+
+  // Round-trip through a saved artifact.
+  std::string Path = ::testing::TempDir() + "serving_artifact.dnnf";
+  Expected<CompiledModel> M = compileModel(mlp(1));
+  ASSERT_TRUE(M.ok());
+  ASSERT_TRUE(saveModel(M.value(), Path).ok());
+  ASSERT_TRUE(R.loadArtifact("from-disk", Path).ok());
+  EXPECT_TRUE(R.run("from-disk", In).ok());
+  // Corrupt artifacts are typed rejections, not aborts.
+  ASSERT_TRUE(writeFileAtomic(Path, "not an artifact").ok());
+  EXPECT_FALSE(R.loadArtifact("bad", Path).ok());
+  EXPECT_EQ(R.run("bad", In).status().code(), ErrorCode::NotFound);
+}
+
+TEST(ModelRegistry, ConcurrentLoadEvictRunRacesAreClean) {
+  // Hammer one name from servers and an evict/reload loop from an operator
+  // thread. Every run() resolves with outputs or a typed status; TSAN (CI)
+  // checks the synchronization.
+  ModelRegistry R;
+  ASSERT_TRUE(R.load("hot", mlp).ok());
+  std::vector<Tensor> In;
+  {
+    Expected<std::shared_ptr<DynamicBatcher>> B = R.acquire("hot");
+    ASSERT_TRUE(B.ok());
+    In = requestInputs(B.value()->signature(), 10);
+  }
+  std::atomic<bool> Stop{false};
+  std::atomic<int> ServedCount{0}, Missed{0};
+  std::vector<std::thread> Servers;
+  for (int T = 0; T < 3; ++T)
+    Servers.emplace_back([&] {
+      while (!Stop) {
+        Expected<std::vector<Tensor>> Out = R.run("hot", In);
+        if (Out.ok()) {
+          ++ServedCount;
+        } else {
+          // NotFound (evicted) or FailedPrecondition (shutdown drain while
+          // an evicted batcher destructs) are the only clean misses.
+          EXPECT_TRUE(Out.status().code() == ErrorCode::NotFound ||
+                      Out.status().code() == ErrorCode::FailedPrecondition)
+              << Out.status().toString();
+          ++Missed;
+        }
+      }
+    });
+  for (int Cycle = 0; Cycle < 5; ++Cycle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(R.evict("hot").ok());
+    ASSERT_TRUE(R.load("hot", mlp).ok());
+  }
+  Stop = true;
+  for (std::thread &T : Servers)
+    T.join();
+  EXPECT_GT(ServedCount.load(), 0);
+  RegistryStats St = R.stats();
+  EXPECT_EQ(St.Loads, 6u);
+  EXPECT_EQ(St.Evictions, 5u);
+  EXPECT_EQ(St.Models, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Session metrics plumb through
+//===----------------------------------------------------------------------===//
+
+TEST(ServingMetrics, ExecLatencyHistogramFeedsFromSessions) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxQueueDelayMicros = 0; // Dispatch immediately.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 11);
+  for (int R = 0; R < 3; ++R)
+    ASSERT_TRUE(B.value()->submit(In).ok());
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.Sessions.RequestsServed, 3u);
+  EXPECT_EQ(S.Sessions.ExecMicros.Count, 3u);
+  EXPECT_GT(S.Sessions.ExecMicros.MaxMicros, 0.0);
+  EXPECT_GT(S.TotalMicros.percentile(50.0), 0.0);
+}
+
+} // namespace

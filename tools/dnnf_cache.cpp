@@ -1,0 +1,170 @@
+//===- tools/dnnf_cache.cpp - Compilation-cache inspection CLI ------------===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `dnnf-cache`: operator tooling for a CompilationCache directory, the
+/// on-disk store that compileModel and the serving ModelRegistry warm-start
+/// from. The cache is shared mutable state across processes, so it needs
+/// the usual cache hygiene commands:
+///
+///   dnnf-cache list   <dir>                key / size / last-use per entry
+///   dnnf-cache verify <dir> [<key>...]     full artifact integrity check
+///   dnnf-cache evict  <dir> --max-bytes N  LRU-evict down to a budget
+///   dnnf-cache remove <dir> <key>...       drop named entries
+///
+/// Keys are the 16-hex-digit content fingerprints embedded in the artifact
+/// filenames (model-<key>.dnnf). Exit code is 0 on success, 1 on any
+/// failed verification, missing key, or usage error — suitable for cron
+/// and CI health checks. `verify` deliberately does not refresh entry
+/// recency, so routine sweeps never perturb LRU eviction order.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serialize/CompilationCache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+using namespace dnnfusion;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dnnf-cache <command> <cache-dir> [args]\n"
+      "  list                     entries least-recently-used first\n"
+      "  verify [<key>...]        integrity-check all (or named) entries\n"
+      "  evict --max-bytes <N>    LRU-evict until the total fits N bytes\n"
+      "  remove <key>...          remove the named entries\n"
+      "keys are the 16-hex-digit fingerprints from `list` / filenames\n");
+  return 1;
+}
+
+std::string fmtTime(int64_t Sec) {
+  time_t T = static_cast<time_t>(Sec);
+  struct tm Tm;
+  gmtime_r(&T, &Tm);
+  char Buf[32];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%d %H:%M:%S", &Tm);
+  return Buf;
+}
+
+bool parseKey(const char *Arg, uint64_t &Key) {
+  char *End = nullptr;
+  Key = strtoull(Arg, &End, 16);
+  return End && *End == '\0' && End != Arg;
+}
+
+int cmdList(const CompilationCache &Cache) {
+  std::vector<CacheEntryInfo> Entries = Cache.entries();
+  int64_t Total = 0;
+  std::printf("%-16s  %10s  %-19s  %s\n", "key", "bytes", "last use (UTC)",
+              "path");
+  for (const CacheEntryInfo &E : Entries) {
+    std::printf("%016" PRIx64 "  %10lld  %-19s  %s\n", E.Key,
+                static_cast<long long>(E.Bytes), fmtTime(E.MtimeSec).c_str(),
+                E.Path.c_str());
+    Total += E.Bytes;
+  }
+  std::printf("%zu entries, %lld bytes\n", Entries.size(),
+              static_cast<long long>(Total));
+  return 0;
+}
+
+int verifyOne(const CompilationCache &Cache, uint64_t Key) {
+  Status S = Cache.verifyEntry(Key);
+  std::printf("%016" PRIx64 "  %s\n", Key,
+              S.ok() ? "ok" : S.toString().c_str());
+  return S.ok() ? 0 : 1;
+}
+
+int cmdVerify(const CompilationCache &Cache, int Argc, char **Argv) {
+  int Failures = 0;
+  if (Argc == 0) {
+    for (const CacheEntryInfo &E : Cache.entries())
+      Failures += verifyOne(Cache, E.Key);
+  } else {
+    for (int I = 0; I < Argc; ++I) {
+      uint64_t Key;
+      if (!parseKey(Argv[I], Key)) {
+        std::fprintf(stderr, "bad key '%s'\n", Argv[I]);
+        return usage();
+      }
+      Failures += verifyOne(Cache, Key);
+    }
+  }
+  return Failures > 0 ? 1 : 0;
+}
+
+int cmdEvict(const CompilationCache &Cache, int Argc, char **Argv) {
+  if (Argc != 2 || std::strcmp(Argv[0], "--max-bytes") != 0)
+    return usage();
+  char *End = nullptr;
+  int64_t MaxBytes = strtoll(Argv[1], &End, 10);
+  if (!End || *End != '\0' || MaxBytes < 0)
+    return usage();
+  std::vector<CacheEntryInfo> Before = Cache.entries();
+  Cache.evictToBudget(MaxBytes);
+  std::vector<CacheEntryInfo> After = Cache.entries();
+  int64_t Kept = 0;
+  for (const CacheEntryInfo &E : After)
+    Kept += E.Bytes;
+  for (const CacheEntryInfo &B : Before) {
+    bool Survived = false;
+    for (const CacheEntryInfo &A : After)
+      Survived |= A.Key == B.Key;
+    if (!Survived)
+      std::printf("evicted %016" PRIx64 " (%lld bytes)\n", B.Key,
+                  static_cast<long long>(B.Bytes));
+  }
+  std::printf("%zu entries kept, %lld bytes (budget %lld)\n", After.size(),
+              static_cast<long long>(Kept),
+              static_cast<long long>(MaxBytes));
+  return 0;
+}
+
+int cmdRemove(const CompilationCache &Cache, int Argc, char **Argv) {
+  if (Argc == 0)
+    return usage();
+  int Failures = 0;
+  for (int I = 0; I < Argc; ++I) {
+    uint64_t Key;
+    if (!parseKey(Argv[I], Key)) {
+      std::fprintf(stderr, "bad key '%s'\n", Argv[I]);
+      return usage();
+    }
+    Status S = Cache.removeEntry(Key);
+    std::printf("%016" PRIx64 "  %s\n", Key,
+                S.ok() ? "removed" : S.toString().c_str());
+    if (!S.ok())
+      Failures = 1;
+  }
+  return Failures;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  const char *Cmd = Argv[1];
+  CompilationCache Cache(Argv[2]);
+  if (std::strcmp(Cmd, "list") == 0 && Argc == 3)
+    return cmdList(Cache);
+  if (std::strcmp(Cmd, "verify") == 0)
+    return cmdVerify(Cache, Argc - 3, Argv + 3);
+  if (std::strcmp(Cmd, "evict") == 0)
+    return cmdEvict(Cache, Argc - 3, Argv + 3);
+  if (std::strcmp(Cmd, "remove") == 0)
+    return cmdRemove(Cache, Argc - 3, Argv + 3);
+  return usage();
+}
