@@ -18,6 +18,7 @@
 #include "baselines/TasoLike.h"
 #include "graph/GraphBuilder.h"
 #include "models/ModelZoo.h"
+#include "ops/KernelRegistry.h"
 #include "ops/OpSchema.h"
 #include "runtime/CacheSim.h"
 #include "runtime/DeviceModel.h"
@@ -311,6 +312,94 @@ inline int emitKernelsJson(const char *Path) {
   }
   std::fprintf(Out, "  ],\n");
   TC.print();
+
+  // --- Kernel registry: per-tier timings on the same shape classes ---
+  // The registry's dispatch dimension: each GEMM/conv shape class timed at
+  // every forced tier (a tier the host cannot execute clamps down, and the
+  // row records the level that actually resolved). Guards: scalar-vs-avx2
+  // must be element-identical (the bit-exact tier contract); avx2fma is
+  // held to the documented FMA tolerance.
+  {
+    KernelConfig AutoCfg;
+    std::fprintf(Out,
+                 "  \"kernel_dispatch\": {\n"
+                 "    \"compiled_simd\": %s,\n"
+                 "    \"host_avx2\": %s,\n"
+                 "    \"host_fma\": %s,\n"
+                 "    \"auto_level\": \"%s\",\n",
+                 simdKernelsCompiledIn() ? "true" : "false",
+                 (dispatchFeatureMask() & CpuFeatureAvx2) ? "true" : "false",
+                 (dispatchFeatureMask() & CpuFeatureFma) ? "true" : "false",
+                 kernelLevelName(effectiveKernelLevel(AutoCfg)));
+    auto ResolvedName = [](int Force) {
+      return kernelLevelName(resolveKernelLevel(Force, dispatchFeatureMask()));
+    };
+    TablePrinter TR({"Dispatch shape", "Scalar ms", "Avx2 ms", "Avx2fma ms",
+                     "Avx2 speedup"});
+    auto TierRow = [&](const char *Kind, const char *Label, OpKind Op,
+                       const AttrMap &Attrs,
+                       const std::vector<const Tensor *> &In,
+                       const Shape &OutShape, bool Last) {
+      auto TimeAt = [&](int Force, Tensor &C) {
+        KernelConfig Cfg;
+        Cfg.ForceKernelLevel = Force;
+        std::vector<double> T;
+        auto Run = [&]() {
+          if (Op == OpKind::Conv)
+            detail::runConvKernel(Op, Attrs, In, C, Cfg);
+          else
+            detail::runMatMulKernel(Op, Attrs, In, C, Cfg);
+        };
+        Run();
+        for (int I = 0; I < Reps; ++I) {
+          WallTimer W;
+          Run();
+          T.push_back(W.millis());
+        }
+        return Median(T);
+      };
+      Tensor CS(OutShape), CV(OutShape), CF(OutShape);
+      double ScalarMs = TimeAt(0, CS);
+      double Avx2Ms = TimeAt(1, CV);
+      double FmaMs = TimeAt(2, CF);
+      Check(CS, CV, Label);      // Bit-exact tier contract.
+      CheckClose(CS, CF, Label); // FMA rounding stays within tolerance.
+      std::fprintf(Out,
+                   "      {\"kind\": \"%s\", \"shape\": \"%s\", "
+                   "\"scalar_ms\": %.4f, \"avx2_ms\": %.4f, "
+                   "\"avx2fma_ms\": %.4f, \"avx2_speedup\": %.3f, "
+                   "\"avx2_resolved\": \"%s\", \"avx2fma_resolved\": "
+                   "\"%s\"}%s\n",
+                   Kind, Label, ScalarMs, Avx2Ms, FmaMs,
+                   Avx2Ms > 0 ? ScalarMs / Avx2Ms : 0.0, ResolvedName(1),
+                   ResolvedName(2), Last ? "" : ",");
+      TR.addRow({Label, fmtMs(ScalarMs), fmtMs(Avx2Ms), fmtMs(FmaMs),
+                 fmtRatio(ScalarMs / Avx2Ms)});
+    };
+    std::fprintf(Out, "    \"shapes\": [\n");
+    for (size_t S = 0; S < sizeof(GemmShapes) / sizeof(GemmShapes[0]); ++S) {
+      const auto &Sh = GemmShapes[S];
+      Tensor A(Shape({Sh.M, Sh.K})), B(Shape({Sh.K, Sh.N}));
+      fillRandom(A, R);
+      fillRandom(B, R);
+      TierRow("gemm", Sh.Label, OpKind::MatMul, AttrMap(), {&A, &B},
+              Shape({Sh.M, Sh.N}), false);
+    }
+    for (size_t S = 0; S < sizeof(ConvShapes) / sizeof(ConvShapes[0]); ++S) {
+      const auto &Sh = ConvShapes[S];
+      Tensor X(Sh.X), W(Sh.W);
+      fillRandom(X, R);
+      fillRandom(W, R);
+      AttrMap Attrs;
+      Attrs.set("strides", Sh.Strides);
+      Attrs.set("pads", Sh.Pads);
+      Shape OutShape = inferShape(OpKind::Conv, Attrs, {Sh.X, Sh.W});
+      TierRow("conv", Sh.Label, OpKind::Conv, Attrs, {&X, &W}, OutShape,
+              S + 1 == sizeof(ConvShapes) / sizeof(ConvShapes[0]));
+    }
+    std::fprintf(Out, "    ]\n  },\n");
+    TR.print();
+  }
 
   // --- Fused expressions: tree-walk interpreter vs compiled program ---
   TablePrinter TD({"DFT shape", "Treewalk ms", "Program ms", "Speedup"});

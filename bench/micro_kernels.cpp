@@ -15,12 +15,15 @@
 #include "BenchUtils.h"
 #include "graph/GraphBuilder.h"
 #include "ops/Kernels.h"
+#include "ops/KernelRegistry.h"
+#include "ops/KernelsAttention.h"
 #include "ops/KernelsGemmPacked.h"
 #include "runtime/ExecutionContext.h"
 #include "tensor/TensorUtils.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstring>
 
 using namespace dnnfusion;
@@ -155,6 +158,58 @@ BENCHMARK(BM_GemmPacked)
     ->Args({8, 8})
     ->Args({4, 32})
     ->Args({8, 32});
+
+// The same packed micro kernel per kernel-registry tier (0 = scalar,
+// 1 = avx2, 2 = avx2fma). A tier the host cannot execute clamps down
+// through resolveKernelLevel — the bench label records the requested
+// tier, SetLabel the one that actually ran.
+void BM_GemmPackedTier(benchmark::State &State) {
+  int64_t N = 256;
+  Rng R(5);
+  Tensor A(Shape({N, N})), B(Shape({N, N})), C(Shape({N, N}));
+  fillRandom(A, R);
+  fillRandom(B, R);
+  int MR = 8, NR = 32;
+  std::vector<float> Packed(
+      static_cast<size_t>(packedPanelElems(N, N, NR)));
+  packBPanels(B.data(), N, 1, N, N, NR, Packed.data());
+  KernelLevel Level = resolveKernelLevel(static_cast<int>(State.range(0)),
+                                         dispatchFeatureMask());
+  State.SetLabel(kernelLevelName(Level));
+  for (auto _ : State) {
+    gemmPackedRows(A.data(), N, 1, Packed.data(), C.data(), N, 0, N, N, N,
+                   MR, NR, nullptr, Level);
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N * N * N);
+}
+BENCHMARK(BM_GemmPackedTier)->Arg(0)->Arg(1)->Arg(2);
+
+// Fused-attention inner loop per registry tier. Every tier is
+// bit-identical here (the AVX2 rows vectorize the score/accumulate loops
+// without touching the online-softmax order), so the tiers differ in
+// speed only.
+void BM_FusedAttentionTier(benchmark::State &State) {
+  int64_t Batches = 4, S = 128, Dh = 64;
+  Rng R(7);
+  Tensor Q(Shape({Batches, S, Dh})), Kt(Shape({Batches, Dh, S}));
+  Tensor V(Shape({Batches, S, Dh})), Out(Shape({Batches, S, Dh}));
+  fillRandom(Q, R);
+  fillRandom(Kt, R);
+  fillRandom(V, R);
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Dh));
+  KernelLevel Level = resolveKernelLevel(static_cast<int>(State.range(0)),
+                                         dispatchFeatureMask());
+  State.SetLabel(kernelLevelName(Level));
+  for (auto _ : State) {
+    runFusedAttention(Q.data(), Kt.data(), V.data(), nullptr, 0, Scale,
+                      /*Causal=*/true, Out.data(), Batches, S, Dh, nullptr,
+                      Level);
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations() * Batches * S * S * Dh * 2);
+}
+BENCHMARK(BM_FusedAttentionTier)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MatmulTiled(benchmark::State &State) {
   int64_t N = 256;

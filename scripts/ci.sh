@@ -20,6 +20,11 @@
 #                              # BENCH_serving.json; fails on crashes or
 #                              # the batched-vs-solo bit-identity /
 #                              # request-accounting guards, never timing
+#   ./scripts/ci.sh forced     # forced-dispatch smoke: the smoke suite
+#                              # once per bit-exact kernel-registry tier
+#                              # via the DNNFUSION_FORCE_KERNEL_LEVEL env
+#                              # hook (scalar, then avx2) — unsupported
+#                              # tiers clamp down, so this runs anywhere
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -76,6 +81,27 @@ for CONFIG in "${CONFIGS[@]}"; do
     # correctness guards (batched-vs-solo bit-identity, request accounting,
     # pool integrity after the shedding storm) — never a timing assertion.
     "$BUILD_DIR/bench_serving_loadgen" --quick --json BENCH_serving.json
+    continue
+  fi
+  if [ "$CONFIG" = "forced" ]; then
+    BUILD_DIR="build-ci-forced"
+    echo "=== [forced] configure ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    echo "=== [forced] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    # One smoke pass per *bit-exact* registry tier. The env hook forces
+    # dispatch for every default-config compile/execute in the suite; a
+    # level the host cannot run clamps down to the best supported tier
+    # (never up), so both passes run on any machine. avx2fma is excluded
+    # on purpose: globally forcing the FMA tier would (correctly) break
+    # the suite's cross-engine bit-identity assertions — that tier is
+    # exercised at its documented tolerance by the forced-fma config of
+    # the differential matrix instead.
+    for LEVEL in scalar avx2; do
+      echo "=== [forced] smoke tests at forced kernel level: $LEVEL ==="
+      DNNFUSION_FORCE_KERNEL_LEVEL="$LEVEL" \
+        ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+    done
     continue
   fi
   if [ "$CONFIG" = "cache" ]; then

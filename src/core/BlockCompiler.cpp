@@ -434,7 +434,16 @@ struct Builder {
 CompiledBlock dnnfusion::compileBlock(const Graph &G, const FusionBlock &Block,
                                       const CodegenOptions &Options) {
   Builder B(G, Block, Options);
-  return B.run();
+  CompiledBlock Out = B.run();
+  // Resolve kernel dispatch once per step for the audit trail (CodeEmitter
+  // lines, cache-redispatch tests). FusedLayerNorm stays scalar by design:
+  // its horizontal sums have no order-preserving vectorization, and the
+  // bit-identity with the decomposed graph is the step's whole contract.
+  KernelLevel Level = effectiveKernelLevel(Options.Kernels);
+  for (CompiledStep &Step : Out.Steps)
+    if (Step.K != CompiledStep::Kind::FusedLayerNorm)
+      Step.DispatchLevel = static_cast<int8_t>(Level);
+  return Out;
 }
 
 void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
@@ -449,6 +458,11 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
   for (size_t I = 0; I < Io.LocalPtrs.size(); ++I)
     Slots[Io.Externals.size() + I] = Io.LocalPtrs[I];
 
+  // One dispatch resolution per block execution, from the *live* options
+  // — the registry tier behaves like every other engine knob (flippable
+  // without recompiling; the compile-time DispatchLevel stamp is audit).
+  KernelLevel Level = effectiveKernelLevel(Options.Kernels);
+
   for (size_t SI = 0; SI < Block.Steps.size(); ++SI) {
     const CompiledStep &Step = Block.Steps[SI];
     float *OutPtr = Io.LocalPtrs[static_cast<size_t>(Step.OutputSlot) -
@@ -457,7 +471,7 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
       if (Options.UseCompiledPrograms && !Step.Program.empty()) {
         if (Rt.Counters)
           ++Rt.Counters->ProgramSteps;
-        Step.Program.execute(Slots, OutPtr, Options.ChunkSize);
+        Step.Program.execute(Slots, OutPtr, Options.ChunkSize, Level);
       } else {
         if (Rt.Counters)
           ++Rt.Counters->TreeWalkSteps;
@@ -481,7 +495,7 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
           /*MaskBatchStride=*/0,
           static_cast<float>(Step.Attrs.getFloat("scale", 1.0)),
           Step.Attrs.getInt("causal", 0) != 0, OutPtr, Batches, S, Dh,
-          Rt.Counters);
+          Rt.Counters, Level);
       continue;
     }
     if (Step.K == CompiledStep::Kind::FusedLayerNorm) {
@@ -522,13 +536,14 @@ void dnnfusion::executeBlock(const CompiledBlock &Block, const BlockIo &Io,
     int Folded = Options.FuseGemmEpilogue ? Step.EpilogueSteps : 0;
     std::function<void(int64_t, int64_t)> Epilogue;
     if (Folded > 0) {
-      Epilogue = [&Block, &Io, &Slots, &Options, SI, Folded](int64_t Begin,
-                                                             int64_t End) {
+      Epilogue = [&Block, &Io, &Slots, &Options, SI, Folded,
+                  Level](int64_t Begin, int64_t End) {
         for (int E = 1; E <= Folded; ++E) {
           const CompiledStep &ES = Block.Steps[SI + static_cast<size_t>(E)];
           float *EOut = Io.LocalPtrs[static_cast<size_t>(ES.OutputSlot) -
                                      Io.Externals.size()];
-          ES.Program.executeRange(Slots, EOut, Begin, End, Options.ChunkSize);
+          ES.Program.executeRange(Slots, EOut, Begin, End, Options.ChunkSize,
+                                  Level);
         }
       };
       KRt.Epilogue = &Epilogue;

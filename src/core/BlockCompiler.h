@@ -124,6 +124,14 @@ struct CompiledStep {
   /// otherwise. Assigned by the model compiler, rebuilt on loadModel.
   int PrepackIndex = -1;
 
+  /// Kernel-registry tier resolved for this step at compileBlock time
+  /// (KernelLevel as int8_t) — the audit stamp CodeEmitter prints and the
+  /// cache-redispatch tests inspect. Informational: executeBlock
+  /// re-resolves from the live CodegenOptions so the knob stays flippable
+  /// per execution, and blocks are never serialized, so a loaded artifact
+  /// re-stamps (and re-dispatches) on the loading host's features.
+  int8_t DispatchLevel = 0;
+
   int OutputSlot = -1;
   Shape OutShape;
 };

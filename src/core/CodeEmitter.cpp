@@ -2,6 +2,7 @@
 
 #include "core/CodeEmitter.h"
 
+#include "ops/KernelRegistry.h"
 #include "ops/OpSchema.h"
 #include "support/StringUtils.h"
 
@@ -97,6 +98,33 @@ std::string dnnfusion::emitBlockSource(const Graph &G,
       Src += formatString("  %s_kernel(%s, buf%d);\n",
                           scalarFnName(Step.Op).c_str(),
                           joinStrings(Args, ", ").c_str(), Step.OutputSlot);
+      // Registry audit for the Many-to-Many kernels: the tier compileBlock
+      // resolved on this host (executeBlock re-resolves from live options).
+      if (Step.Op == OpKind::MatMul || Step.Op == OpKind::Gemm ||
+          Step.Op == OpKind::Conv)
+        Src += formatString(
+            "  // kernel dispatch: %s\n",
+            kernelLevelName(static_cast<KernelLevel>(Step.DispatchLevel)));
+      continue;
+    }
+    if (Step.K == CompiledStep::Kind::FusedAttention ||
+        Step.K == CompiledStep::Kind::FusedLayerNorm) {
+      // Fused steps carry no expression tree; emit the kernel call plus
+      // the dispatch audit instead of falling into the expression branch.
+      bool Attn = Step.K == CompiledStep::Kind::FusedAttention;
+      std::vector<std::string> Args;
+      for (int Slot : Step.InputSlots)
+        Args.push_back(formatString("buf%d", Slot));
+      Src += formatString("  // fused %s for %s (%s)\n",
+                          Attn ? "attention" : "layernorm",
+                          Origin.Name.c_str(),
+                          Step.OutShape.toString().c_str());
+      Src += formatString("  %s_kernel(%s, buf%d);\n",
+                          Attn ? "fused_attention" : "fused_layernorm",
+                          joinStrings(Args, ", ").c_str(), Step.OutputSlot);
+      Src += formatString(
+          "  // kernel dispatch: %s\n",
+          kernelLevelName(static_cast<KernelLevel>(Step.DispatchLevel)));
       continue;
     }
     int MapCounter = 0;

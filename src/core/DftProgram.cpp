@@ -254,7 +254,8 @@ struct ChunkState {
 };
 
 void runChunk(const DftProgram &P, const std::vector<const float *> &Slots,
-              int64_t Base, int Count, float *__restrict Out, ChunkState &S) {
+              int64_t Base, int Count, float *__restrict Out, ChunkState &S,
+              EltwiseChunkFn Simd) {
   S.Counts[0] = Count;
   for (const DftInstr &I : P.Instrs) {
     switch (I.K) {
@@ -325,7 +326,9 @@ void runChunk(const DftProgram &P, const std::vector<const float *> &Slots,
                       ? Slots[static_cast<size_t>(I.Args[A].Index)] + Base
                       : S.reg(I.Args[A].Index);
       float *Dst = I.Dst == DftProgram::OutputReg ? Out : S.reg(I.Dst);
-      evalElementwiseChunk(I.EOp, I.Params, Args, I.NumArgs, Dst, Cnt);
+      // Registry SIMD tier first; false = op not covered, scalar reference.
+      if (!Simd || !Simd(I.EOp, I.Params, Args, I.NumArgs, Dst, Cnt))
+        evalElementwiseChunk(I.EOp, I.Params, Args, I.NumArgs, Dst, Cnt);
       break;
     }
 
@@ -383,33 +386,35 @@ void runChunk(const DftProgram &P, const std::vector<const float *> &Slots,
 } // namespace
 
 void DftProgram::execute(const std::vector<const float *> &Slots, float *Out,
-                         int ChunkSize) const {
+                         int ChunkSize, KernelLevel Level) const {
   DNNF_CHECK(ChunkSize > 0 && ChunkSize <= DftMaxChunk,
              "chunk size %d out of range", ChunkSize);
+  EltwiseChunkFn Simd = resolveEltwiseChunk(Level);
   parallelFor(OutElems, [&](int64_t Begin, int64_t End) {
     ChunkState State(*this);
     for (int64_t Base = Begin; Base < End; Base += ChunkSize) {
       int Count = static_cast<int>(Base + ChunkSize <= End ? ChunkSize
                                                            : End - Base);
-      runChunk(*this, Slots, Base, Count, Out + Base, State);
+      runChunk(*this, Slots, Base, Count, Out + Base, State, Simd);
     }
   });
 }
 
 void DftProgram::executeRange(const std::vector<const float *> &Slots,
                               float *Out, int64_t Begin, int64_t End,
-                              int ChunkSize) const {
+                              int ChunkSize, KernelLevel Level) const {
   DNNF_CHECK(ChunkSize > 0 && ChunkSize <= DftMaxChunk,
              "chunk size %d out of range", ChunkSize);
   DNNF_CHECK(Begin >= 0 && End <= OutElems && Begin <= End,
              "range [%lld, %lld) outside [0, %lld)",
              static_cast<long long>(Begin), static_cast<long long>(End),
              static_cast<long long>(OutElems));
+  EltwiseChunkFn Simd = resolveEltwiseChunk(Level);
   ChunkState State(*this);
   for (int64_t Base = Begin; Base < End; Base += ChunkSize) {
     int Count =
         static_cast<int>(Base + ChunkSize <= End ? ChunkSize : End - Base);
-    runChunk(*this, Slots, Base, Count, Out + Base, State);
+    runChunk(*this, Slots, Base, Count, Out + Base, State, Simd);
   }
 }
 

@@ -35,6 +35,7 @@
 #define DNNFUSION_CORE_DFTPROGRAM_H
 
 #include "core/Dft.h"
+#include "ops/KernelRegistry.h"
 
 #include <string>
 
@@ -136,8 +137,15 @@ public:
   /// Evaluates the program over output flat indices [0, OutElems) into
   /// \p Out, ChunkSize elements at a time, parallelized over chunks with
   /// the same deterministic slicing as DftTree::evaluate.
+  ///
+  /// \p Level picks the kernel-registry tier for the Eltwise instructions
+  /// (resolved once per call, not per chunk). The SIMD tier covers a
+  /// subset of ops and is bit-identical where it applies; uncovered ops
+  /// fall through to the scalar evalElementwiseChunk per instruction. The
+  /// legacy tree-walk evaluator (DftTree::evaluate) takes no level — it is
+  /// the scalar reference engine by definition.
   void execute(const std::vector<const float *> &Slots, float *Out,
-               int ChunkSize) const;
+               int ChunkSize, KernelLevel Level = KernelLevel::Scalar) const;
 
   /// Evaluates output flat indices [Begin, End) only, on the calling
   /// thread (no internal parallelism). \p Out is the full output base
@@ -148,7 +156,8 @@ public:
   /// This is the GEMM-epilogue entry point: the producing kernel calls it
   /// per completed row range from inside its own parallel loop.
   void executeRange(const std::vector<const float *> &Slots, float *Out,
-                    int64_t Begin, int64_t End, int ChunkSize) const;
+                    int64_t Begin, int64_t End, int ChunkSize,
+                    KernelLevel Level = KernelLevel::Scalar) const;
 
   /// One line per instruction (CodeEmitter's tape audit).
   std::string describe() const;

@@ -1,0 +1,295 @@
+//===- ops/KernelRegistry.cpp - CPU-feature kernel dispatch ---------------===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ops/KernelRegistry.h"
+
+#include "ops/Kernels.h"
+#include "ops/KernelsAttention.h"
+#include "ops/KernelsGemmPacked.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dnnfusion {
+
+//===----------------------------------------------------------------------===//
+// Feature detection
+//===----------------------------------------------------------------------===//
+
+uint32_t detectCpuFeatures() {
+  static const uint32_t Cached = [] {
+    uint32_t Mask = 0;
+#if (defined(__x86_64__) || defined(__i386__)) &&                              \
+    (defined(__GNUC__) || defined(__clang__))
+    // __builtin_cpu_supports reads cpuid once at startup (libgcc keeps the
+    // cache), which covers both the CPU bit and the OS XSAVE/ymm-state
+    // enablement that raw cpuid leaf 7 alone would miss.
+    if (__builtin_cpu_supports("avx2"))
+      Mask |= CpuFeatureAvx2;
+    if (__builtin_cpu_supports("fma"))
+      Mask |= CpuFeatureFma;
+#endif
+    return Mask;
+  }();
+  return Cached;
+}
+
+bool simdKernelsCompiledIn() {
+  return simd::gemmPackedRowsAvx2() != nullptr;
+}
+
+uint32_t dispatchFeatureMask() {
+  // A host feature the build cannot emit code for is not dispatchable:
+  // when the AVX2 translation units compiled without -mavx2 (non-x86
+  // toolchain, or the flag probe failed) every getter is null, so the
+  // mask collapses to scalar-only no matter what cpuid says.
+  static const uint32_t Cached =
+      simdKernelsCompiledIn() ? detectCpuFeatures() : 0u;
+  return Cached;
+}
+
+uint32_t kernelLevelFeatures(KernelLevel L) {
+  switch (L) {
+  case KernelLevel::Scalar:
+    return 0;
+  case KernelLevel::Avx2:
+    return CpuFeatureAvx2;
+  case KernelLevel::Avx2Fma:
+    return CpuFeatureAvx2 | CpuFeatureFma;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Level resolution (pure — mocked-mask tests exercise this directly)
+//===----------------------------------------------------------------------===//
+
+KernelLevel resolveKernelLevel(int ForceLevel, uint32_t Features) {
+  // Auto never selects Avx2Fma: FMA breaks bit-identity with the scalar
+  // reference, and that guarantee is load-bearing for the differential
+  // matrix, the bench exact-compare guards, and cached-artifact
+  // re-execution. The FMA tier is a deliberate, forced-only opt-in.
+  KernelLevel Want = KernelLevel::Avx2;
+  if (ForceLevel >= 0) {
+    int Clamped = ForceLevel;
+    if (Clamped > static_cast<int>(KernelLevel::Avx2Fma))
+      Clamped = static_cast<int>(KernelLevel::Avx2Fma);
+    Want = static_cast<KernelLevel>(Clamped);
+  }
+  // Clamp down (never up) to the best tier the features can execute, so a
+  // forced SIMD level on a scalar-only host degrades instead of faulting.
+  while (Want > KernelLevel::Scalar &&
+         (kernelLevelFeatures(Want) & ~Features) != 0)
+    Want = static_cast<KernelLevel>(static_cast<int>(Want) - 1);
+  return Want;
+}
+
+const char *kernelLevelName(KernelLevel L) {
+  switch (L) {
+  case KernelLevel::Scalar:
+    return "scalar";
+  case KernelLevel::Avx2:
+    return "avx2";
+  case KernelLevel::Avx2Fma:
+    return "avx2fma";
+  }
+  return "scalar";
+}
+
+int parseKernelLevel(const char *Name) {
+  if (!Name || !*Name)
+    return ForceKernelAuto;
+  if (std::strcmp(Name, "scalar") == 0)
+    return static_cast<int>(KernelLevel::Scalar);
+  if (std::strcmp(Name, "avx2") == 0)
+    return static_cast<int>(KernelLevel::Avx2);
+  if (std::strcmp(Name, "avx2fma") == 0)
+    return static_cast<int>(KernelLevel::Avx2Fma);
+  return ForceKernelAuto; // "auto" and anything unrecognized
+}
+
+namespace {
+
+int readForcedKernelLevelEnv() {
+  return parseKernelLevel(std::getenv("DNNFUSION_FORCE_KERNEL_LEVEL"));
+}
+
+int &forcedKernelLevelFromEnv() {
+  // Cached once: getenv on every kernel dispatch would put a libc call on
+  // the micro-kernel hot path. refreshForcedKernelLevelFromEnv() lets
+  // tests flip the variable mid-process.
+  static int Cached = readForcedKernelLevelEnv();
+  return Cached;
+}
+
+} // namespace
+
+void refreshForcedKernelLevelFromEnv() {
+  forcedKernelLevelFromEnv() = readForcedKernelLevelEnv();
+}
+
+KernelLevel effectiveKernelLevel(const KernelConfig &Config) {
+  int Force = Config.ForceKernelLevel;
+  if (Force < 0)
+    Force = forcedKernelLevelFromEnv();
+  return resolveKernelLevel(Force, dispatchFeatureMask());
+}
+
+void countKernelDispatch(EngineCounters *Counters, KernelLevel L) {
+  if (!Counters)
+    return;
+  switch (L) {
+  case KernelLevel::Scalar:
+    ++Counters->KernelScalarCalls;
+    break;
+  case KernelLevel::Avx2:
+    ++Counters->KernelAvx2Calls;
+    break;
+  case KernelLevel::Avx2Fma:
+    ++Counters->KernelAvx2FmaCalls;
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const KernelEntry *KernelRegistry::resolve(KernelKind Kind,
+                                           const KernelProblem &P,
+                                           KernelLevel MaxLevel,
+                                           uint32_t Features) const {
+  const KernelEntry *Best = nullptr;
+  for (const KernelEntry &E : Entries) {
+    if (E.Kind != Kind || E.Level > MaxLevel || !E.Fn)
+      continue;
+    if ((E.RequiredFeatures & ~Features) != 0)
+      continue;
+    if (E.Supports && !E.Supports(P))
+      continue;
+    if (!Best || E.Priority > Best->Priority)
+      Best = &E;
+  }
+  return Best;
+}
+
+std::vector<KernelEntry> KernelRegistry::entries(KernelKind Kind) const {
+  std::vector<KernelEntry> Out;
+  for (const KernelEntry &E : Entries)
+    if (E.Kind == Kind)
+      Out.push_back(E);
+  return Out;
+}
+
+namespace {
+
+bool eltwiseChunkScalarEntry(OpKind Kind, const ScalarParams &P,
+                             const float *const *Args, int NumArgs, float *Out,
+                             int64_t Count) {
+  evalElementwiseChunk(Kind, P, Args, NumArgs, Out, Count);
+  return true;
+}
+
+// The AVX2 GEMM tile consumes whole 8-float lanes of a panel row; NR=4
+// panels (narrow-N problems) stay on the scalar micro tile.
+bool gemmPanelIsVectorWide(const KernelProblem &P) {
+  return P.Ty == KernelDType::F32 && P.NR >= 8;
+}
+
+bool isF32(const KernelProblem &P) { return P.Ty == KernelDType::F32; }
+
+} // namespace
+
+const KernelRegistry &KernelRegistry::builtins() {
+  // Built on first use (no static-init-order registration: the scalar
+  // kernels and the AVX2 getters live in this same static library, and a
+  // self-registering global in an .a member is exactly the object the
+  // linker is allowed to drop). Immutable afterwards — lock-free reads.
+  static const KernelRegistry Builtins = [] {
+    KernelRegistry R;
+    auto Reg = [&R](KernelKind Kind, KernelLevel Level, const char *Name,
+                    void *Fn, bool (*Supports)(const KernelProblem &)) {
+      if (!Fn)
+        return;
+      KernelEntry E;
+      E.Kind = Kind;
+      E.Level = Level;
+      E.RequiredFeatures = kernelLevelFeatures(Level);
+      E.Priority = 10 * static_cast<int>(Level);
+      E.Name = Name;
+      E.Fn = Fn;
+      E.Supports = Supports;
+      R.add(E);
+    };
+
+    Reg(KernelKind::GemmPackedRows, KernelLevel::Scalar, "gemm-packed-scalar",
+        reinterpret_cast<void *>(&gemmPackedRowsScalar), isF32);
+    Reg(KernelKind::GemmPackedRows, KernelLevel::Avx2, "gemm-packed-avx2",
+        reinterpret_cast<void *>(simd::gemmPackedRowsAvx2()),
+        gemmPanelIsVectorWide);
+    Reg(KernelKind::GemmPackedRows, KernelLevel::Avx2Fma,
+        "gemm-packed-avx2fma",
+        reinterpret_cast<void *>(simd::gemmPackedRowsAvx2Fma()),
+        gemmPanelIsVectorWide);
+
+    Reg(KernelKind::FusedAttentionRows, KernelLevel::Scalar,
+        "fused-attention-scalar",
+        reinterpret_cast<void *>(&fusedAttentionRowsScalar), isF32);
+    Reg(KernelKind::FusedAttentionRows, KernelLevel::Avx2,
+        "fused-attention-avx2",
+        reinterpret_cast<void *>(simd::fusedAttentionRowsAvx2()), isF32);
+
+    Reg(KernelKind::EltwiseChunk, KernelLevel::Scalar, "eltwise-scalar",
+        reinterpret_cast<void *>(&eltwiseChunkScalarEntry), isF32);
+    Reg(KernelKind::EltwiseChunk, KernelLevel::Avx2, "eltwise-avx2",
+        reinterpret_cast<void *>(simd::eltwiseChunkAvx2()), isF32);
+    return R;
+  }();
+  return Builtins;
+}
+
+//===----------------------------------------------------------------------===//
+// Typed resolvers (the kernels' dispatch points)
+//===----------------------------------------------------------------------===//
+
+GemmPackedRowsFn resolveGemmPackedRows(KernelLevel L, int64_t N, int64_t K,
+                                       int NR) {
+  if (L == KernelLevel::Scalar)
+    return nullptr; // callers keep their inlined scalar path
+  KernelProblem P;
+  P.N = N;
+  P.K = K;
+  P.NR = NR;
+  const KernelEntry *E = KernelRegistry::builtins().resolve(
+      KernelKind::GemmPackedRows, P, L, dispatchFeatureMask());
+  if (!E || E->Level == KernelLevel::Scalar)
+    return nullptr;
+  return reinterpret_cast<GemmPackedRowsFn>(E->Fn);
+}
+
+FusedAttentionRowsFn resolveFusedAttentionRows(KernelLevel L) {
+  if (L == KernelLevel::Scalar)
+    return nullptr;
+  KernelProblem P;
+  const KernelEntry *E = KernelRegistry::builtins().resolve(
+      KernelKind::FusedAttentionRows, P, L, dispatchFeatureMask());
+  if (!E || E->Level == KernelLevel::Scalar)
+    return nullptr;
+  return reinterpret_cast<FusedAttentionRowsFn>(E->Fn);
+}
+
+EltwiseChunkFn resolveEltwiseChunk(KernelLevel L) {
+  if (L == KernelLevel::Scalar)
+    return nullptr;
+  KernelProblem P;
+  const KernelEntry *E = KernelRegistry::builtins().resolve(
+      KernelKind::EltwiseChunk, P, L, dispatchFeatureMask());
+  if (!E || E->Level == KernelLevel::Scalar)
+    return nullptr;
+  return reinterpret_cast<EltwiseChunkFn>(E->Fn);
+}
+
+} // namespace dnnfusion

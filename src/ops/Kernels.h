@@ -56,6 +56,14 @@ struct KernelConfig {
   /// Column-tile width of the conv im2col pass: output pixels packed and
   /// multiplied per tile, bounding the packing scratch.
   int PackColTile = 1024;
+
+  /// Forced kernel-registry dispatch tier: -1 (ForceKernelAuto) resolves
+  /// automatically (env hook, then the highest bit-exact tier the host
+  /// supports); 0 = scalar, 1 = avx2, 2 = avx2fma (see KernelRegistry.h).
+  /// A forced tier the host cannot execute clamps down, never up. Like
+  /// every engine knob this is excluded from the CompilationCache key and
+  /// never serialized — cached artifacts re-resolve on the loading host.
+  int ForceKernelLevel = -1;
 };
 
 /// Execution-engine path counters: which implementation each fused-block
@@ -82,6 +90,13 @@ struct EngineCounters {
   /// attention or layernorm subgraph per inference).
   int64_t FusedAttentionSteps = 0;
   int64_t FusedLayerNormSteps = 0;
+  /// Registry-dispatched kernel invocations by resolved tier (packed
+  /// GEMM/conv calls and fused-attention steps, counted at the level the
+  /// registry actually selected after host-feature clamping) — the audit
+  /// trail proving which tier a run executed.
+  int64_t KernelScalarCalls = 0;
+  int64_t KernelAvx2Calls = 0;
+  int64_t KernelAvx2FmaCalls = 0;
 
   void add(const EngineCounters &O) {
     ProgramSteps += O.ProgramSteps;
@@ -93,6 +108,9 @@ struct EngineCounters {
     GemmEpilogueSteps += O.GemmEpilogueSteps;
     FusedAttentionSteps += O.FusedAttentionSteps;
     FusedLayerNormSteps += O.FusedLayerNormSteps;
+    KernelScalarCalls += O.KernelScalarCalls;
+    KernelAvx2Calls += O.KernelAvx2Calls;
+    KernelAvx2FmaCalls += O.KernelAvx2FmaCalls;
   }
 };
 

@@ -31,6 +31,8 @@
 #ifndef DNNFUSION_OPS_KERNELSATTENTION_H
 #define DNNFUSION_OPS_KERNELSATTENTION_H
 
+#include "ops/KernelRegistry.h"
+
 #include <cstdint>
 
 namespace dnnfusion {
@@ -42,6 +44,20 @@ struct EngineCounters;
 /// must not claim subgraphs with Dh above this.
 inline constexpr int64_t FusedAttentionMaxHeadDim = 256;
 
+/// Keys processed per online-softmax tile: scores for one tile live in a
+/// stack array and the V rows of the tile are still L1-hot when the
+/// accumulator consumes them. Every dispatch tier must tile identically —
+/// the online-rescale points depend on tile boundaries, so a different
+/// KeyTile would change the accumulation order and break the
+/// scalar-vs-SIMD bit-identity contract.
+inline constexpr int64_t FusedAttentionKeyTile = 64;
+
+/// The scalar per-row worker behind runFusedAttention — the registry's
+/// fallback entry and the reference the AVX2 tier is differenced against.
+/// Rows index flat over Batches * S query rows.
+void fusedAttentionRowsScalar(const AttentionRowArgs &Args, int64_t RowBegin,
+                              int64_t RowEnd);
+
 /// Out[b, i, :] = softmax_j(Scale * sum_d Q[b, i, d] * Kt[b, d, j]
 ///                          + mask) * V[b, j, :]
 /// over \p Batches independent heads: Q and V are [Batches, S, Dh]
@@ -51,11 +67,15 @@ inline constexpr int64_t FusedAttentionMaxHeadDim = 256;
 /// dimension (MaskBatchStride = 0) or per-batch (stride in elements).
 /// Causal = true ignores Mask and restricts each query row i to keys
 /// j <= i. Parallelizes over query rows; requires Dh <=
-/// FusedAttentionMaxHeadDim.
+/// FusedAttentionMaxHeadDim. \p Level picks the dispatch tier through the
+/// kernel registry (the AVX2 tier vectorizes the score and accumulate
+/// inner loops without touching the online-softmax order, so every tier
+/// is bit-identical to the scalar rows).
 void runFusedAttention(const float *Q, const float *Kt, const float *V,
                        const float *Mask, int64_t MaskBatchStride,
                        float Scale, bool Causal, float *Out, int64_t Batches,
-                       int64_t S, int64_t Dh, EngineCounters *Counters);
+                       int64_t S, int64_t Dh, EngineCounters *Counters,
+                       KernelLevel Level = KernelLevel::Scalar);
 
 /// Row-wise LayerNorm over the last dimension: for each of \p Rows rows of
 /// \p H elements, Out = (X - mean) / sqrt(var + Eps) * Gamma + Beta with

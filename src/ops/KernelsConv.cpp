@@ -105,6 +105,8 @@ void runConvPacked(const ConvPackGeom &G,
   const float *Bias = Inputs.size() == 3 ? Inputs[2]->data() : nullptr;
   int NR = clampPackNR(Config.PackNR);
   int MR = clampPackMR(Config.PackMR);
+  KernelLevel Level = effectiveKernelLevel(Config);
+  countKernelDispatch(Rt.Counters, Level);
   int Sp = G.Sp;
 
   // Per-k tables: source channel and per-dimension (dilated) kernel
@@ -176,7 +178,7 @@ void runConvPacked(const ConvPackGeom &G,
         });
         parallelFor(G.Fg, [&](int64_t Begin, int64_t End) {
           gemmPackedRows(Wg, G.K, 1, Packed, Yng + T0, G.OutSpatial, Begin,
-                         End, T, G.K, MR, NR, BiasG);
+                         End, T, G.K, MR, NR, BiasG, Level);
         });
       }
     }

@@ -97,11 +97,12 @@ void gemmPackedRowsNR(const float *A, int64_t ARowStride, int64_t AColStride,
 
 } // namespace
 
-void dnnfusion::gemmPackedRows(const float *A, int64_t ARowStride,
-                               int64_t AColStride, const float *Packed,
-                               float *C, int64_t CRowStride, int64_t RowBegin,
-                               int64_t RowEnd, int64_t N, int64_t K, int MR,
-                               int NR, const float *RowBias) {
+void dnnfusion::gemmPackedRowsScalar(const float *A, int64_t ARowStride,
+                                     int64_t AColStride, const float *Packed,
+                                     float *C, int64_t CRowStride,
+                                     int64_t RowBegin, int64_t RowEnd,
+                                     int64_t N, int64_t K, int MR, int NR,
+                                     const float *RowBias) {
   MR = clampPackMR(MR);
   switch (clampPackNR(NR)) {
   case 4:
@@ -121,6 +122,20 @@ void dnnfusion::gemmPackedRows(const float *A, int64_t ARowStride,
                                 CRowStride, RowBegin, RowEnd, N, K, MR,
                                 RowBias);
   }
+}
+
+void dnnfusion::gemmPackedRows(const float *A, int64_t ARowStride,
+                               int64_t AColStride, const float *Packed,
+                               float *C, int64_t CRowStride, int64_t RowBegin,
+                               int64_t RowEnd, int64_t N, int64_t K, int MR,
+                               int NR, const float *RowBias,
+                               KernelLevel Level) {
+  NR = clampPackNR(NR);
+  if (GemmPackedRowsFn Fn = resolveGemmPackedRows(Level, N, K, NR))
+    return Fn(A, ARowStride, AColStride, Packed, C, CRowStride, RowBegin,
+              RowEnd, N, K, clampPackMR(MR), NR, RowBias);
+  gemmPackedRowsScalar(A, ARowStride, AColStride, Packed, C, CRowStride,
+                       RowBegin, RowEnd, N, K, MR, NR, RowBias);
 }
 
 bool dnnfusion::packedGemmProfitable(int64_t M, int64_t N, int64_t K, int NR,

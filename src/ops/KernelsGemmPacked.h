@@ -28,6 +28,8 @@
 #ifndef DNNFUSION_OPS_KERNELSGEMMPACKED_H
 #define DNNFUSION_OPS_KERNELSGEMMPACKED_H
 
+#include "ops/KernelRegistry.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -78,10 +80,24 @@ struct PackedOperand {
 /// and receives exactly N stores. Accumulators initialize to RowBias[i]
 /// when RowBias is non-null (direct-conv bias-first order) and to 0.0f
 /// otherwise, then accumulate in ascending k order.
+///
+/// \p Level selects the dispatch tier through the kernel registry; the
+/// scalar micro tile runs whenever the registry resolves no better entry
+/// (Level Scalar, unsupported host, NR=4 panels). Scalar and Avx2 results
+/// are bit-identical; Avx2Fma differs by FMA rounding only.
 void gemmPackedRows(const float *A, int64_t ARowStride, int64_t AColStride,
                     const float *Packed, float *C, int64_t CRowStride,
                     int64_t RowBegin, int64_t RowEnd, int64_t N, int64_t K,
-                    int MR, int NR, const float *RowBias);
+                    int MR, int NR, const float *RowBias,
+                    KernelLevel Level = KernelLevel::Scalar);
+
+/// The scalar micro tile behind gemmPackedRows — the registry's fallback
+/// entry and the reference every SIMD tier is differenced against.
+void gemmPackedRowsScalar(const float *A, int64_t ARowStride,
+                          int64_t AColStride, const float *Packed, float *C,
+                          int64_t CRowStride, int64_t RowBegin, int64_t RowEnd,
+                          int64_t N, int64_t K, int MR, int NR,
+                          const float *RowBias);
 
 /// Run-time packing buffer: an externally provided scratch span when it
 /// is large enough, a heap allocation otherwise (direct kernel calls

@@ -128,10 +128,12 @@ void runMatMul(const std::vector<const Tensor *> &Inputs, Tensor &Out,
       Rt.Prepacked && Rt.Prepacked->matches(K, N, NR, D.BSlices);
   if (Config.UsePackedGemm &&
       packedGemmProfitable(EffM, N, K, NR, Prepacked)) {
+    KernelLevel Level = effectiveKernelLevel(Config);
     if (Rt.Counters) {
       ++Rt.Counters->PackedKernelCalls;
       ++(Prepacked ? Rt.Counters->PrepackHits : Rt.Counters->PrepackMisses);
     }
+    countKernelDispatch(Rt.Counters, Level);
     int64_t SliceElems = packedPanelElems(K, N, NR);
     PackBuffer Buf;
     const float *Packed;
@@ -155,7 +157,7 @@ void runMatMul(const std::vector<const Tensor *> &Inputs, Tensor &Out,
         gemmPackedRows(A.data() + BaseA[static_cast<size_t>(Bi)], K, 1,
                        Packed + SliceB[static_cast<size_t>(Bi)] * SliceElems,
                        Out.data() + Bi * M * N, N, RowInBatch,
-                       RowInBatch + RowsHere, N, K, MR, NR, nullptr);
+                       RowInBatch + RowsHere, N, K, MR, NR, nullptr, Level);
         Row += RowsHere;
       }
       if (Rt.Epilogue)
@@ -247,10 +249,12 @@ void runGemm(const AttrMap &Attrs, const std::vector<const Tensor *> &Inputs,
   int MR = clampPackMR(Config.PackMR);
   bool Prepacked = Rt.Prepacked && Rt.Prepacked->matches(K, N, NR, 1);
   if (Config.UsePackedGemm && packedGemmProfitable(M, N, K, NR, Prepacked)) {
+    KernelLevel Level = effectiveKernelLevel(Config);
     if (Rt.Counters) {
       ++Rt.Counters->PackedKernelCalls;
       ++(Prepacked ? Rt.Counters->PrepackHits : Rt.Counters->PrepackMisses);
     }
+    countKernelDispatch(Rt.Counters, Level);
     PackBuffer Buf;
     const float *Packed;
     if (Prepacked) {
@@ -265,7 +269,7 @@ void runGemm(const AttrMap &Attrs, const std::vector<const Tensor *> &Inputs,
     int64_t ARow = TA ? 1 : K, ACol = TA ? M : 1;
     parallelFor(M, [&](int64_t Begin, int64_t End) {
       gemmPackedRows(A.data(), ARow, ACol, Packed, Out.data(), N, Begin, End,
-                     N, K, MR, NR, nullptr);
+                     N, K, MR, NR, nullptr, Level);
       if (Bias)
         for (int64_t I = Begin; I < End; ++I)
           addBiasRow(Out.data() + I * N, Bias, I, N, BiasS0, BiasS1);

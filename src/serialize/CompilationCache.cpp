@@ -81,6 +81,13 @@ std::string serializeOptionsForKey(const CompileOptions &O) {
   // knob adopted from the caller on a hit, like UseCompiledPrograms.
   W.u8(O.Codegen.FuseAttention ? 1 : 0);
   W.u8(O.Codegen.FuseNorm ? 1 : 0);
+  // The whole KernelConfig (tiling, packing, and the registry's
+  // ForceKernelLevel) is likewise excluded: kernel dispatch is a
+  // per-execution property of the *loading* host — an artifact compiled
+  // under forced-scalar must hit the same cache entry and re-resolve to
+  // the loader's best tier (blocks are never serialized; compileBlock on
+  // load re-stamps them). Keying on it would both fragment the cache and
+  // freeze a host's feature set into a portable artifact.
   return W.take();
 }
 

@@ -1016,6 +1016,48 @@ const std::vector<DiffConfig> &defaultConfigMatrix() {
       C.Options.Codegen.FuseNorm = false;
       M.push_back(C);
     }
+    {
+      // Kernel-registry dimension, forced scalar: every registry-dispatched
+      // kernel pinned to the portable tier. "full" auto-resolves to the
+      // highest bit-exact tier (avx2 on AVX2 hosts), and that tier
+      // multiplies and adds in separate roundings in the same per-element
+      // k-order as scalar — so scalar-vs-SIMD must be bit-identical, not
+      // merely close. This is the zoo-wide SIMD correctness oracle.
+      DiffConfig C;
+      C.Name = "forced-scalar";
+      C.Options.Codegen.Kernels.ForceKernelLevel = 0;
+      C.RelTol = 2e-3f;
+      C.AbsTol = 2e-3f;
+      C.BitIdenticalTo = "full";
+      M.push_back(C);
+    }
+    {
+      // Kernel-registry dimension, forced avx2: the bit-exact SIMD tier
+      // explicitly requested (clamps down to scalar on hosts without AVX2,
+      // which is also bit-identical). Distinct from "full" in that it
+      // exercises the forced-dispatch resolution path, not auto.
+      DiffConfig C;
+      C.Name = "forced-simd";
+      C.Options.Codegen.Kernels.ForceKernelLevel = 1;
+      C.RelTol = 2e-3f;
+      C.AbsTol = 2e-3f;
+      C.BitIdenticalTo = "full";
+      M.push_back(C);
+    }
+    {
+      // Kernel-registry dimension, forced avx2fma: the packed-GEMM micro
+      // tile with fused multiply-add. FMA keeps the infinite-precision
+      // product through the add, so results deliberately differ from the
+      // bit-exact tiers in the last bits — the documented tolerance, with
+      // no bit-identity pairing. On non-FMA hosts this clamps down and
+      // trivially stays within the bound.
+      DiffConfig C;
+      C.Name = "forced-fma";
+      C.Options.Codegen.Kernels.ForceKernelLevel = 2;
+      C.RelTol = 2e-3f;
+      C.AbsTol = 2e-3f;
+      M.push_back(C);
+    }
     return M;
   }();
   return Matrix;
