@@ -40,6 +40,13 @@
 ///     saveGraph / loadGraph,
 ///     CompileOptions::CacheDir                — persistence (docs/FORMAT.md)
 ///   - Status, ErrorCode, Expected<T>          — the recoverable error model
+///   - RunControl                              — cooperative deadline/cancel,
+///     checked between fusion blocks
+///   - RetryPolicy, retrySiteStats             — transient-I/O retry with
+///     jittered exponential backoff
+///   - FaultInjection, FaultSpec,
+///     DNNFUSION_FAULT_SPEC                    — seeded fault injection for
+///     chaos testing (zero-cost when disarmed)
 ///
 /// Persistence: saveModel writes a compiled model (graph + fusion plan +
 /// schedule + memory plan) as one versioned artifact that loadModel
@@ -66,6 +73,8 @@
 #include "serialize/GraphSerializer.h"
 #include "serialize/ModelSerializer.h"
 #include "serving/ModelRegistry.h"
+#include "support/FaultInjection.h"
+#include "support/Retry.h"
 #include "support/Status.h"
 #include "tensor/Tensor.h"
 

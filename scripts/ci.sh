@@ -25,6 +25,12 @@
 #                              # via the DNNFUSION_FORCE_KERNEL_LEVEL env
 #                              # hook (scalar, then avx2) — unsupported
 #                              # tiers clamp down, so this runs anywhere
+#   ./scripts/ci.sh chaos      # fault-injection sweep: test_chaos and the
+#                              # serving resilience tests in Debug and
+#                              # under ThreadSanitizer, then the loadgen
+#                              # --chaos storm (degraded-mode p99 into
+#                              # BENCH_serving_chaos.json); fails on any
+#                              # abort, deadlock, leak, or untyped error
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -102,6 +108,41 @@ for CONFIG in "${CONFIGS[@]}"; do
       DNNFUSION_FORCE_KERNEL_LEVEL="$LEVEL" \
         ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
     done
+    continue
+  fi
+  if [ "$CONFIG" = "chaos" ]; then
+    BUILD_DIR="build-ci-chaos"
+    echo "=== [chaos] configure (Debug) ==="
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+          -DDNNFUSION_BUILD_BENCH=OFF -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [chaos] build ==="
+    cmake --build "$BUILD_DIR" -j "$JOBS" --target test_chaos test_serving \
+          test_graph_fuzz
+    echo "=== [chaos] fault-point sweep + serving resilience (Debug) ==="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+          -R 'test_chaos|test_serving|test_graph_fuzz'
+    TSAN_DIR="build-ci-chaos-tsan"
+    echo "=== [chaos] configure (ThreadSanitizer) ==="
+    cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DDNNFUSION_TSAN=ON -DDNNFUSION_BUILD_BENCH=OFF \
+          -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [chaos] build (ThreadSanitizer) ==="
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target test_chaos test_serving
+    echo "=== [chaos] chaos + serving tests under ThreadSanitizer ==="
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+          -R 'test_chaos|test_serving'
+    BENCH_DIR="build-ci-chaos-bench"
+    echo "=== [chaos] configure (loadgen) ==="
+    cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DDNNFUSION_BUILD_TESTS=OFF -DDNNFUSION_BUILD_BENCH=ON \
+          -DDNNFUSION_BUILD_EXAMPLES=OFF
+    echo "=== [chaos] build (loadgen) ==="
+    cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_serving_loadgen
+    echo "=== [chaos] degraded-mode storm (BENCH_serving_chaos.json) ==="
+    # Exit code carries the guards (typed-or-served accounting under the
+    # armed fault, healthy service after disarm) — never a timing bar.
+    "$BENCH_DIR/bench_serving_loadgen" --quick --chaos \
+        --json BENCH_serving_chaos.json
     continue
   fi
   if [ "$CONFIG" = "cache" ]; then

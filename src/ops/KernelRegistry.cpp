@@ -10,8 +10,13 @@
 #include "ops/KernelsAttention.h"
 #include "ops/KernelsGemmPacked.h"
 
+#include "support/FaultInjection.h"
+
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 
 namespace dnnfusion {
 
@@ -131,7 +136,54 @@ void refreshForcedKernelLevelFromEnv() {
   forcedKernelLevelFromEnv() = readForcedKernelLevelEnv();
 }
 
+//===----------------------------------------------------------------------===//
+// DegradeToScalar latch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<bool> DegradeLatch{false};
+std::mutex DegradeReasonMutex;
+std::string &degradeReasonStorage() {
+  static std::string Reason;
+  return Reason;
+}
+
+/// Called at every typed-resolver dispatch: injects the kernel.dispatch
+/// fault (tripping the latch), then reports whether dispatch is clamped.
+bool dispatchDegraded() {
+  if (faultShouldFail(faultpoints::KernelDispatch))
+    latchKernelDegradeToScalar("injected fault kernel.dispatch");
+  return DegradeLatch.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool kernelDegradedToScalar() {
+  return DegradeLatch.load(std::memory_order_relaxed);
+}
+
+void latchKernelDegradeToScalar(const char *Reason) {
+  std::lock_guard<std::mutex> Lock(DegradeReasonMutex);
+  if (!DegradeLatch.load(std::memory_order_relaxed))
+    degradeReasonStorage() = Reason ? Reason : "";
+  DegradeLatch.store(true, std::memory_order_relaxed);
+}
+
+const char *kernelDegradeReason() {
+  std::lock_guard<std::mutex> Lock(DegradeReasonMutex);
+  return degradeReasonStorage().c_str();
+}
+
+void resetKernelDegradeLatchForTests() {
+  std::lock_guard<std::mutex> Lock(DegradeReasonMutex);
+  degradeReasonStorage().clear();
+  DegradeLatch.store(false, std::memory_order_relaxed);
+}
+
 KernelLevel effectiveKernelLevel(const KernelConfig &Config) {
+  if (kernelDegradedToScalar())
+    return KernelLevel::Scalar;
   int Force = Config.ForceKernelLevel;
   if (Force < 0)
     Force = forcedKernelLevelFromEnv();
@@ -259,6 +311,8 @@ GemmPackedRowsFn resolveGemmPackedRows(KernelLevel L, int64_t N, int64_t K,
                                        int NR) {
   if (L == KernelLevel::Scalar)
     return nullptr; // callers keep their inlined scalar path
+  if (dispatchDegraded())
+    return nullptr;
   KernelProblem P;
   P.N = N;
   P.K = K;
@@ -273,6 +327,8 @@ GemmPackedRowsFn resolveGemmPackedRows(KernelLevel L, int64_t N, int64_t K,
 FusedAttentionRowsFn resolveFusedAttentionRows(KernelLevel L) {
   if (L == KernelLevel::Scalar)
     return nullptr;
+  if (dispatchDegraded())
+    return nullptr;
   KernelProblem P;
   const KernelEntry *E = KernelRegistry::builtins().resolve(
       KernelKind::FusedAttentionRows, P, L, dispatchFeatureMask());
@@ -283,6 +339,8 @@ FusedAttentionRowsFn resolveFusedAttentionRows(KernelLevel L) {
 
 EltwiseChunkFn resolveEltwiseChunk(KernelLevel L) {
   if (L == KernelLevel::Scalar)
+    return nullptr;
+  if (dispatchDegraded())
     return nullptr;
   KernelProblem P;
   const KernelEntry *E = KernelRegistry::builtins().resolve(

@@ -211,6 +211,24 @@ int parseKernelLevel(const char *Name);
 /// Re-reads DNNFUSION_FORCE_KERNEL_LEVEL (cached on first use) — test hook.
 void refreshForcedKernelLevelFromEnv();
 
+/// True once the process has latched DegradeToScalar: a SIMD dispatch
+/// fault (the kernel.dispatch fault point today; a real cpuid/sigill probe
+/// failure tomorrow) permanently clamps every subsequent dispatch
+/// resolution to the scalar tier. One-way by design — a dispatch tier that
+/// faulted once cannot be trusted for the next million requests, and
+/// scalar is bit-identical to the default avx2 tier so the degradation is
+/// invisible to results, only to throughput. Serving keeps answering.
+bool kernelDegradedToScalar();
+
+/// Trips the latch (idempotent; first caller's \p Reason wins).
+void latchKernelDegradeToScalar(const char *Reason);
+
+/// Why the latch tripped ("" when it has not).
+const char *kernelDegradeReason();
+
+/// Clears the latch — tests only; production never un-degrades.
+void resetKernelDegradeLatchForTests();
+
 /// Bumps the per-tier dispatch counter for one registry-dispatched kernel
 /// invocation (null-safe).
 void countKernelDispatch(EngineCounters *Counters, KernelLevel L);

@@ -3,15 +3,22 @@
 #include "runtime/ExecutionContext.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <cstring>
+#include <new>
 
 using namespace dnnfusion;
 
 ExecutionContext::ExecutionContext(const CompiledModel &Model,
                                    const ExecutionOptions &Options)
     : M(Model), Opts(Options) {
+  // alloc.arena simulates context-construction OOM — the pool-growth path
+  // InferenceSession::acquire must survive (it catches bad_alloc, restores
+  // its slot accounting, and surfaces ResourceExhausted).
+  if (faultShouldFail(faultpoints::AllocArena))
+    throw std::bad_alloc();
   Arena.resize(static_cast<size_t>(elementsForBytes(M.Memory.ArenaBytes)));
   // Even a sequential run needs a lane per pool thread: it may itself be
   // executing on any worker (a batched request), and wavefront runs use
@@ -53,10 +60,49 @@ const float *ExecutionContext::valuePtr(NodeId Id,
   return Arena.data() + elementIndexForByteOffset(Offset);
 }
 
+void ExecutionContext::setAbort(Status S) {
+  {
+    std::lock_guard<std::mutex> Lock(AbortMutex);
+    if (!AbortFlag.load(std::memory_order_relaxed))
+      AbortStatus = std::move(S);
+  }
+  AbortFlag.store(true, std::memory_order_release);
+}
+
+bool ExecutionContext::checkpointShouldStop(const RunControl &Control) {
+  if (AbortFlag.load(std::memory_order_acquire))
+    return true;
+  if (!Control.active())
+    return false;
+  if (Control.Cancel &&
+      Control.Cancel->load(std::memory_order_relaxed)) {
+    setAbort(Status::error(ErrorCode::FailedPrecondition,
+                           "run cancelled at block checkpoint"));
+    return true;
+  }
+  if (std::chrono::steady_clock::now() >= Control.Deadline) {
+    setAbort(Status::error(ErrorCode::DeadlineExceeded,
+                           "deadline expired at block checkpoint"));
+    return true;
+  }
+  return false;
+}
+
 void ExecutionContext::runBlock(size_t BI, unsigned Lane,
                                 const std::vector<Tensor> &Inputs,
                                 std::vector<double> *PerBlockMs,
                                 std::vector<EngineCounters> *PerBlockCounters) {
+  // The per-block fault hook: a faulting block aborts the run with a typed
+  // Status at the next checkpoint instead of corrupting downstream blocks.
+  // (Siblings already dispatched in the same wavefront level finish — they
+  // write disjoint arena ranges — but no further level starts.)
+  if (faultShouldFail(faultpoints::ExecBlock)) {
+    setAbort(Status::errorf(ErrorCode::Internal,
+                            "injected fault exec.block in block %zu", BI));
+    return;
+  }
+  if (AbortFlag.load(std::memory_order_acquire))
+    return;
   const CompiledBlock &CB = M.Blocks[BI];
   BlockIo Io;
   Io.Externals.reserve(CB.ExternalInputs.size());
@@ -99,6 +145,13 @@ void ExecutionContext::runBlock(size_t BI, unsigned Lane,
 std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
                                           ExecutionStats *Stats,
                                           bool PerBlockTiming) {
+  return cantFail(tryRun(Inputs, Stats, PerBlockTiming, RunControl()));
+}
+
+Expected<std::vector<Tensor>>
+ExecutionContext::tryRun(const std::vector<Tensor> &Inputs,
+                         ExecutionStats *Stats, bool PerBlockTiming,
+                         const RunControl &Control) {
   DNNF_CHECK(Inputs.size() == M.InputIds.size(),
              "expected %zu inputs, got %zu", M.InputIds.size(), Inputs.size());
   for (size_t I = 0; I < Inputs.size(); ++I)
@@ -106,6 +159,12 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
                "input %zu shape %s does not match model shape %s", I,
                Inputs[I].shape().toString().c_str(),
                M.G.node(M.InputIds[I]).OutShape.toString().c_str());
+
+  AbortFlag.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(AbortMutex);
+    AbortStatus = Status();
+  }
 
   WallTimer Total;
   std::vector<double> PerBlockMs;
@@ -125,8 +184,13 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
   }
 
   if (usesWavefront()) {
+    // Checkpoint between levels: a level is the wavefront analogue of a
+    // block boundary (its blocks are already in flight together), so the
+    // abort latency bound is one level's latency.
     ThreadPool &P = pool();
     for (const std::vector<int> &Level : M.Schedule.Levels) {
+      if (checkpointShouldStop(Control))
+        break;
       const int *BlockIdx = Level.data();
       P.forEach(static_cast<int64_t>(Level.size()),
                 [&](int64_t I, unsigned Lane) {
@@ -143,13 +207,30 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
     // level-monotone); only a sequential-only plan matches plan order.
     unsigned Lane = pool().currentLane();
     if (M.Memory.WavefrontSafe) {
-      for (const std::vector<int> &Level : M.Schedule.Levels)
-        for (int BI : Level)
+      for (const std::vector<int> &Level : M.Schedule.Levels) {
+        if (checkpointShouldStop(Control))
+          break;
+        for (int BI : Level) {
+          if (checkpointShouldStop(Control))
+            break;
           runBlock(static_cast<size_t>(BI), Lane, Inputs, PerBlock, Counters);
+        }
+      }
     } else {
-      for (size_t BI = 0; BI < M.Blocks.size(); ++BI)
+      for (size_t BI = 0; BI < M.Blocks.size(); ++BI) {
+        if (checkpointShouldStop(Control))
+          break;
         runBlock(BI, Lane, Inputs, PerBlock, Counters);
+      }
     }
+  }
+
+  if (AbortFlag.load(std::memory_order_acquire)) {
+    // The context is clean for reuse right away: arena/scratch contents
+    // are garbage, but every run rewrites what it reads.
+    std::lock_guard<std::mutex> Lock(AbortMutex);
+    DNNF_CHECK(!AbortStatus.ok(), "abort flag raised without a status");
+    return AbortStatus;
   }
 
   if (Stats) {
@@ -171,10 +252,15 @@ std::vector<Tensor> ExecutionContext::run(const std::vector<Tensor> &Inputs,
   }
 
   std::vector<Tensor> Outputs;
-  for (NodeId Out : M.G.outputs()) {
-    Tensor T(M.G.node(Out).OutShape);
-    std::memcpy(T.data(), valuePtr(Out, Inputs), T.byteSize());
-    Outputs.push_back(std::move(T));
+  try {
+    for (NodeId Out : M.G.outputs()) {
+      Tensor T(M.G.node(Out).OutShape);
+      std::memcpy(T.data(), valuePtr(Out, Inputs), T.byteSize());
+      Outputs.push_back(std::move(T));
+    }
+  } catch (const std::bad_alloc &) {
+    return Status::error(ErrorCode::ResourceExhausted,
+                         "out of memory allocating run outputs");
   }
   return Outputs;
 }

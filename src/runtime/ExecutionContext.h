@@ -25,9 +25,13 @@
 #define DNNFUSION_RUNTIME_EXECUTIONCONTEXT_H
 
 #include "runtime/ModelCompiler.h"
+#include "support/Status.h"
 #include "support/ThreadPool.h"
 #include "tensor/Tensor.h"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <vector>
 
 namespace dnnfusion {
@@ -70,8 +74,31 @@ struct ExecutionOptions {
   ThreadPool *Pool = nullptr;
 };
 
+/// Cooperative cancellation for one run. Execution checkpoints between
+/// fusion blocks (sequential) / between wavefront levels (parallel), so an
+/// abort takes effect within one block's latency, not the whole model's —
+/// the property that lets the serving layer stop burning compute on a
+/// request whose deadline already passed.
+struct RunControl {
+  /// Abort with DeadlineExceeded once steady_clock passes this (max() =
+  /// no deadline). Same clock as AdmissionController deadlines.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// External cancel flag polled at every checkpoint; abort with
+  /// FailedPrecondition("cancelled") once it reads true. Null = never.
+  const std::atomic<bool> *Cancel = nullptr;
+
+  /// True when any checkpointing is needed (false skips the per-block
+  /// clock reads entirely — the common case costs nothing).
+  bool active() const {
+    return Cancel != nullptr ||
+           Deadline != std::chrono::steady_clock::time_point::max();
+  }
+};
+
 /// All mutable state for executing one CompiledModel. Reusable across runs
-/// (buffers persist), reentrant with respect to the thread pool (run() may
+/// (buffers persist — including after an aborted run; every run rewrites
+/// what it reads), reentrant with respect to the thread pool (run() may
 /// itself be called from a pool worker), but NOT safe for two simultaneous
 /// run() calls on the same context — use one context per in-flight request
 /// (InferenceSession pools them).
@@ -81,7 +108,19 @@ public:
                             const ExecutionOptions &Options = {});
 
   /// Runs the model on \p Inputs (one tensor per graph input, in
-  /// InputIds order). Returns the graph outputs in graph-output order.
+  /// InputIds order). Returns the graph outputs in graph-output order, or:
+  ///  - DeadlineExceeded / FailedPrecondition when \p Control aborted the
+  ///    run at a block checkpoint;
+  ///  - ResourceExhausted when output allocation threw bad_alloc;
+  ///  - Internal when a block faulted (the exec.block injection today).
+  /// On any error the context is immediately reusable.
+  Expected<std::vector<Tensor>> tryRun(const std::vector<Tensor> &Inputs,
+                                       ExecutionStats *Stats = nullptr,
+                                       bool PerBlockTiming = false,
+                                       const RunControl &Control = {});
+
+  /// tryRun for call sites where failure is a library bug (benches, tests
+  /// on known-good models with no deadline): aborts on error.
   std::vector<Tensor> run(const std::vector<Tensor> &Inputs,
                           ExecutionStats *Stats = nullptr,
                           bool PerBlockTiming = false);
@@ -93,6 +132,12 @@ public:
 
 private:
   ThreadPool &pool() const;
+  /// Records the first abort Status (later calls lose) and raises the
+  /// abort flag every checkpoint polls.
+  void setAbort(Status S);
+  /// Polls \p Control (and any already-recorded abort) at a block/level
+  /// boundary; true = stop dispatching blocks.
+  bool checkpointShouldStop(const RunControl &Control);
   /// Executes block \p BI with lane-local scratch, recording its wall time
   /// into \p PerBlockMs and its engine counters into \p PerBlockCounters
   /// when non-null.
@@ -113,6 +158,12 @@ private:
   /// Per-block engine counters, reused across runs (the context is
   /// exclusive to one in-flight request, so no per-run allocation).
   std::vector<EngineCounters> CounterScratch;
+  /// Abort machinery, reset at the top of every tryRun. The flag is
+  /// atomic because wavefront workers poll it while the master (or a
+  /// faulting sibling block) raises it.
+  std::atomic<bool> AbortFlag{false};
+  std::mutex AbortMutex;
+  Status AbortStatus;
 };
 
 } // namespace dnnfusion

@@ -15,6 +15,11 @@ unsigned InferenceSession::contextsCreated() const {
   return Created;
 }
 
+unsigned InferenceSession::idleContexts() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<unsigned>(FreeContexts.size());
+}
+
 SessionMetrics InferenceSession::metrics() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Metrics;
@@ -94,44 +99,56 @@ Status InferenceSession::reject(Status S) {
   return S;
 }
 
-std::vector<Tensor>
+Expected<std::vector<Tensor>>
 InferenceSession::runValidated(const std::vector<Tensor> &Inputs,
-                               ExecutionStats *Stats) {
-  std::unique_ptr<ExecutionContext> Ctx = acquire();
-  // Return the lease even if run() throws; losing it would shrink (or,
-  // capped, eventually livelock) the session.
-  struct Lease {
-    InferenceSession &Session;
-    std::unique_ptr<ExecutionContext> &Ctx;
-    ~Lease() { Session.release(std::move(Ctx)); }
-  } Guard{*this, Ctx};
-  // Started after acquire(): CumulativeWallMs is execution time, not time
-  // spent blocked waiting for a context under a MaxContexts cap.
-  WallTimer Timer;
-  // Stats are always collected so the session can record which engine
-  // paths (program vs tree-walk, packed vs naive, prepack hit/miss) the
-  // request's execution actually took.
+                               ExecutionStats *Stats,
+                               const RunControl &Control) {
+  // Everything after the lease is guarded: success, checkpoint abort,
+  // execution fault, or exception — the context always returns to the
+  // pool (losing one would shrink, or capped eventually livelock, the
+  // session). Pool growth itself can fail (bad_alloc sizing the arena);
+  // that surfaces as ResourceExhausted without consuming a lease.
+  Expected<std::vector<Tensor>> Outputs =
+      Status::error(ErrorCode::Internal, "request never executed");
+  double WallMs = 0.0;
   ExecutionStats Local;
-  std::vector<Tensor> Outputs = Ctx->run(Inputs, &Local);
+  try {
+    ContextLease Lease(*this);
+    // Started after acquire(): CumulativeWallMs is execution time, not
+    // time spent blocked waiting for a context under a MaxContexts cap.
+    WallTimer Timer;
+    // Stats are always collected so the session can record which engine
+    // paths (program vs tree-walk, packed vs naive, prepack hit/miss) the
+    // request's execution actually took.
+    Outputs = Lease->tryRun(Inputs, &Local, false, Control);
+    WallMs = Timer.millis();
+  } catch (const std::bad_alloc &) {
+    Outputs = Status::error(ErrorCode::ResourceExhausted,
+                            "out of memory growing the context pool");
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Outputs.ok()) {
+    ++Metrics.RequestsFailed;
+    if (Outputs.status().code() == ErrorCode::DeadlineExceeded)
+      ++Metrics.DeadlinesExceededMidRun;
+    return Outputs;
+  }
+  ++Metrics.RequestsServed;
+  Metrics.CumulativeWallMs += WallMs;
+  Metrics.Engine.add(Local.Engine);
+  Metrics.ExecMicros.record(WallMs * 1000.0);
   if (Stats)
     *Stats = Local;
-  double WallMs = Timer.millis();
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Metrics.RequestsServed;
-    Metrics.CumulativeWallMs += WallMs;
-    Metrics.Engine.add(Local.Engine);
-    Metrics.ExecMicros.record(WallMs * 1000.0);
-  }
   return Outputs;
 }
 
 Expected<std::vector<Tensor>>
 InferenceSession::run(const std::vector<Tensor> &Inputs,
-                      ExecutionStats *Stats) {
+                      ExecutionStats *Stats, const RunControl &Control) {
   if (Status S = validateRequest(Inputs); !S.ok())
     return reject(std::move(S));
-  return runValidated(Inputs, Stats);
+  return runValidated(Inputs, Stats, Control);
 }
 
 Expected<std::vector<Tensor>>
@@ -156,20 +173,39 @@ InferenceSession::run(const std::map<std::string, Tensor> &Inputs,
     Positional.push_back(Inputs.at(Spec.Name));
   if (Status S = validateRequest(Positional); !S.ok())
     return reject(std::move(S));
-  return runValidated(Positional, Stats);
+  return runValidated(Positional, Stats, RunControl());
 }
 
-Expected<std::vector<std::vector<Tensor>>>
-InferenceSession::runBatch(const std::vector<std::vector<Tensor>> &Batch) {
-  for (size_t R = 0; R < Batch.size(); ++R)
+std::vector<Expected<std::vector<Tensor>>>
+InferenceSession::runBatch(const std::vector<std::vector<Tensor>> &Batch,
+                           const RunControl &Control) {
+  // One result slot per request, failures isolated per entry: a malformed
+  // request is rejected in place, a faulting one carries its own Status —
+  // siblings execute regardless. Every error is index-tagged so a client
+  // fanning a batch out can attribute it without positional bookkeeping.
+  std::vector<Expected<std::vector<Tensor>>> Results(
+      Batch.size(),
+      Status::error(ErrorCode::Internal, "batch entry never executed"));
+  std::vector<size_t> ToRun;
+  ToRun.reserve(Batch.size());
+  for (size_t R = 0; R < Batch.size(); ++R) {
     if (Status S = validateRequest(Batch[R]); !S.ok())
-      return reject(Status::errorf(S.code(), "batch request %zu: %s", R,
-                                   S.message().c_str()));
-  std::vector<std::vector<Tensor>> Results(Batch.size());
+      Results[R] = reject(Status::errorf(S.code(), "batch request %zu: %s", R,
+                                         S.message().c_str()));
+    else
+      ToRun.push_back(R);
+  }
   ThreadPool &P = Opts.Exec.Pool ? *Opts.Exec.Pool : ThreadPool::global();
-  P.forEach(static_cast<int64_t>(Batch.size()), [&](int64_t I, unsigned) {
-    Results[static_cast<size_t>(I)] =
-        runValidated(Batch[static_cast<size_t>(I)], nullptr);
+  P.forEach(static_cast<int64_t>(ToRun.size()), [&](int64_t I, unsigned) {
+    size_t R = ToRun[static_cast<size_t>(I)];
+    Expected<std::vector<Tensor>> Out =
+        runValidated(Batch[R], nullptr, Control);
+    if (Out.ok())
+      Results[R] = std::move(Out);
+    else
+      Results[R] =
+          Status::errorf(Out.status().code(), "batch request %zu: %s", R,
+                         Out.status().message().c_str());
   });
   return Results;
 }

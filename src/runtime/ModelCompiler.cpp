@@ -267,8 +267,13 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
   uint64_t CacheKey = 0;
   if (UseCache) {
     CacheKey = CompilationCache::fingerprint(G, Options);
-    Expected<CompiledModel> Cached =
-        CompilationCache(Options.CacheDir).lookup(CacheKey);
+    // Transient read failures retry with backoff (counters under
+    // "cache.lookup"); NotFound and DataLoss fall straight through to the
+    // recompile below, as ever.
+    Expected<CompiledModel> Cached = retryExpected<CompiledModel>(
+        "cache.lookup", Options.CacheRetry, [&]() -> Expected<CompiledModel> {
+          return CompilationCache(Options.CacheDir).lookup(CacheKey);
+        });
     if (Cached.ok()) {
       Cached->CacheHit = true;
       // The execution-engine knobs are not part of the persisted artifact
@@ -328,9 +333,12 @@ Expected<CompiledModel> dnnfusion::compileModel(Graph G,
   }
   finishCompilation(M, G, Options.WavefrontSafeMemory);
   if (UseCache) {
-    // Best-effort: a failed store leaves the cache cold, nothing more.
-    (void)CompilationCache(Options.CacheDir)
-        .store(CacheKey, M, Options.CacheMaxBytes);
+    // Best-effort: a failed store (after its transient-retry budget,
+    // counted under "cache.store") leaves the cache cold, nothing more.
+    (void)retryStatus("cache.store", Options.CacheRetry, [&] {
+      return CompilationCache(Options.CacheDir)
+          .store(CacheKey, M, Options.CacheMaxBytes);
+    });
   }
   return M;
 }

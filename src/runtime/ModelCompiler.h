@@ -21,6 +21,7 @@
 #include "ops/KernelsGemmPacked.h"
 #include "runtime/MemoryPlanner.h"
 #include "runtime/ModelSignature.h"
+#include "support/Retry.h"
 #include "support/Status.h"
 
 namespace dnnfusion {
@@ -61,6 +62,14 @@ struct CompileOptions {
   /// single model larger than the whole budget still warm-starts its own
   /// next compile. Excluded from the cache key, like CacheDir.
   int64_t CacheMaxBytes = 0;
+  /// Retry budget for transient cache I/O (a read that fails mid-flight, a
+  /// store whose rename loses to filesystem pressure): each cache lookup /
+  /// store is retried with jittered exponential backoff before compilation
+  /// falls back to its usual cold path. Non-transient cache errors
+  /// (NotFound, DataLoss) are never retried — their answer is recompile.
+  /// Excluded from the cache key, like CacheDir (it cannot change the
+  /// artifact, only how patiently we fetch it).
+  RetryPolicy CacheRetry;
 };
 
 /// A fully compiled model, ready for execution.

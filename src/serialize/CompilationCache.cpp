@@ -163,6 +163,26 @@ Status CompilationCache::verifyEntry(uint64_t Key) const {
   return M.ok() ? Status() : M.status();
 }
 
+CacheVerifySweep CompilationCache::verifyAll() const {
+  CacheVerifySweep Sweep;
+  for (const CacheEntryInfo &E : entries()) {
+    Status S = verifyEntry(E.Key);
+    if (S.ok()) {
+      ++Sweep.Verified;
+      continue;
+    }
+    if (S.code() == ErrorCode::NotFound) {
+      // Enumerated, then gone: another process evicted it between our
+      // readdir and our open. That is the directory working as designed,
+      // not an integrity failure.
+      ++Sweep.SkippedEvicted;
+      continue;
+    }
+    Sweep.Failures.emplace_back(E.Key, std::move(S));
+  }
+  return Sweep;
+}
+
 Status CompilationCache::removeEntry(uint64_t Key) const {
   std::string Path = pathForKey(Key);
   struct stat St;

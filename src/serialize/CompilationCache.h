@@ -34,6 +34,7 @@
 #include "runtime/ModelCompiler.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dnnfusion {
@@ -44,6 +45,18 @@ struct CacheEntryInfo {
   std::string Path;     ///< Absolute-or-relative artifact path.
   int64_t Bytes = 0;    ///< Artifact size on disk.
   int64_t MtimeSec = 0; ///< Last-use time (lookup hits refresh it).
+};
+
+/// Outcome of a full-directory verification sweep (verifyAll).
+struct CacheVerifySweep {
+  /// Entries that deserialized clean.
+  int64_t Verified = 0;
+  /// Entries enumerated but gone by the time they were verified — a
+  /// concurrent eviction (the cache directory is shared mutable state
+  /// across processes), not a health problem.
+  int64_t SkippedEvicted = 0;
+  /// Entries present but unusable (DataLoss etc.), with their statuses.
+  std::vector<std::pair<uint64_t, Status>> Failures;
 };
 
 /// Handle on one cache directory. Stateless beyond the path; cheap to
@@ -87,6 +100,13 @@ public:
   /// verification sweeps do not perturb least-recently-used eviction.
   /// NotFound when absent, DataLoss when present but unusable.
   Status verifyEntry(uint64_t Key) const;
+
+  /// Verifies every entry currently in the directory, tolerating the
+  /// races a shared cache directory allows: an entry evicted by another
+  /// process between enumeration and verification is counted as
+  /// SkippedEvicted, never mis-reported as corruption. Only entries that
+  /// are present-but-unusable land in Failures.
+  CacheVerifySweep verifyAll() const;
 
   /// Removes the artifact for \p Key. NotFound when absent.
   Status removeEntry(uint64_t Key) const;

@@ -240,115 +240,220 @@ void DynamicBatcher::processBatch(std::vector<std::shared_ptr<Pending>> Batch,
     }
     Req->Done.set_value(std::move(S));
   }
-  // Greedy bucket decomposition, largest viable bucket first (7 -> 4+2+1).
-  size_t I = 0;
-  while (I < Live.size()) {
-    size_t Remaining = Live.size() - I;
+  // Degradation work-loop: pick the largest healthy bucket, execute, and
+  // on failure either complete the expired members (mid-run deadline) or
+  // trip the bucket's breaker and requeue down the ladder. Buckets tripped
+  // *within this call* are skipped locally even if their breaker has not
+  // opened yet (threshold > 1) or has a zero cooldown, so each requeue
+  // strictly shrinks the bucket — the loop terminates at solo execution.
+  std::deque<std::shared_ptr<Pending>> Work(Live.begin(), Live.end());
+  std::vector<int64_t> TrippedThisBatch;
+  while (!Work.empty()) {
+    const size_t Remaining = Work.size();
+    InferenceSession *Session = nullptr;
     size_t Take = 1;
+    bool Degraded = false;
     for (int64_t B : Buckets) {
-      if (static_cast<size_t>(B) <= Remaining && variantFor(B)) {
+      if (static_cast<size_t>(B) > Remaining)
+        continue;
+      if (std::find(TrippedThisBatch.begin(), TrippedThisBatch.end(), B) !=
+          TrippedThisBatch.end()) {
+        Degraded = true;
+        continue;
+      }
+      bool Cooling = false;
+      if (InferenceSession *S = variantFor(B, &Cooling)) {
+        Session = S;
         Take = static_cast<size_t>(B);
         break;
       }
+      Degraded = Degraded || Cooling;
     }
-    executeSubBatch({Live.begin() + static_cast<ptrdiff_t>(I),
-                     Live.begin() + static_cast<ptrdiff_t>(I + Take)});
-    I += Take;
+    if (!Session) {
+      Session = variantFor(1);
+      Take = 1;
+    }
+    DNNF_CHECK(Session != nullptr, "bucket 1 must always be available");
+
+    std::vector<std::shared_ptr<Pending>> Sub(
+        Work.begin(), Work.begin() + static_cast<ptrdiff_t>(Take));
+    Work.erase(Work.begin(), Work.begin() + static_cast<ptrdiff_t>(Take));
+    if (Degraded) {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      Counters.DegradedRequests += static_cast<uint64_t>(Take);
+    }
+
+    Status S = executeSubBatch(Session, Sub);
+    if (S.ok()) {
+      recordBucketSuccess(static_cast<int64_t>(Take));
+      continue;
+    }
+    if (S.code() == ErrorCode::DeadlineExceeded) {
+      // A member's deadline expired mid-run and the execution aborted at
+      // the next block checkpoint. Complete the expired members with the
+      // typed status; the rest go back on the work list — the bucket is
+      // healthy, so no breaker trip. If clock skew says nobody is expired
+      // (should be impossible: the run's deadline was the sub-batch min),
+      // complete everyone rather than retry forever.
+      Clock::time_point Now = Clock::now();
+      bool AnyExpired = false;
+      for (const std::shared_ptr<Pending> &Req : Sub)
+        AnyExpired = AnyExpired || Now >= Req->Deadline;
+      std::vector<std::shared_ptr<Pending>> Retry;
+      for (std::shared_ptr<Pending> &Req : Sub) {
+        if (!AnyExpired || Now >= Req->Deadline)
+          completeRequest(Req, Status::error(S.code(), S.message()));
+        else
+          Retry.push_back(std::move(Req));
+      }
+      Work.insert(Work.begin(), Retry.begin(), Retry.end());
+      continue;
+    }
+    // Execution fault. At solo there is nothing smaller to decompose to —
+    // the request leaves with the typed failure. Above solo, trip the
+    // bucket's breaker and retry the members down the ladder.
+    if (Take == 1) {
+      completeRequest(Sub[0], std::move(S));
+      continue;
+    }
+    recordBucketFailure(static_cast<int64_t>(Take));
+    TrippedThisBatch.push_back(static_cast<int64_t>(Take));
+    Work.insert(Work.begin(), Sub.begin(), Sub.end());
   }
 }
 
-void DynamicBatcher::executeSubBatch(
+void DynamicBatcher::completeRequest(const std::shared_ptr<Pending> &Req,
+                                     Expected<std::vector<Tensor>> Result) {
+  Admission.release();
+  {
+    Clock::time_point Now = Clock::now();
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    if (Result.ok()) {
+      ++Counters.Served;
+      Counters.TotalMicros.record(elapsedMicros(Req->Enqueued, Now));
+    } else if (Result.status().code() == ErrorCode::DeadlineExceeded) {
+      ++Counters.DeadlineMidExecution;
+    } else {
+      ++Counters.FailedExecution;
+    }
+  }
+  Req->Done.set_value(std::move(Result));
+}
+
+Status DynamicBatcher::executeSubBatch(
+    InferenceSession *Session,
     const std::vector<std::shared_ptr<Pending>> &Requests) {
   const int64_t K = static_cast<int64_t>(Requests.size());
-  InferenceSession *Session = variantFor(K);
-  DNNF_CHECK(Session != nullptr, "no session for bucket %lld",
-             static_cast<long long>(K));
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Counters.BatchesExecuted;
     ++Counters.BatchSizeCounts[static_cast<size_t>(K)];
   }
 
-  auto CompleteAll = [&](const Status &S) {
-    for (const std::shared_ptr<Pending> &Req : Requests) {
-      Admission.release();
-      Req->Done.set_value(Status::error(S.code(), S.message()));
-    }
-  };
-  auto RecordServed = [&]() {
-    Clock::time_point Now = Clock::now();
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    Counters.Served += static_cast<uint64_t>(K);
-    for (const std::shared_ptr<Pending> &Req : Requests)
-      Counters.TotalMicros.record(elapsedMicros(Req->Enqueued, Now));
-  };
+  // The run executes under the sub-batch's tightest deadline: the moment
+  // any member expires, the whole run aborts at the next block checkpoint
+  // (abort latency bounded by one block) instead of finishing work nobody
+  // will wait for. The caller then retries the unexpired members.
+  RunControl Control;
+  Control.Deadline = AdmissionController::noDeadline();
+  for (const std::shared_ptr<Pending> &Req : Requests)
+    Control.Deadline = std::min(Control.Deadline, Req->Deadline);
 
   if (K == 1) {
     // Solo bucket: straight through the batch-1 session — by definition
     // the reference execution batched outputs are compared against.
-    Expected<std::vector<Tensor>> Out = Session->run(*Requests[0]->Inputs);
-    if (Out.ok())
-      RecordServed();
-    Admission.release();
-    Requests[0]->Done.set_value(std::move(Out));
-    return;
+    Expected<std::vector<Tensor>> Out =
+        Session->run(*Requests[0]->Inputs, nullptr, Control);
+    if (!Out.ok())
+      return Out.status();
+    completeRequest(Requests[0], std::move(Out));
+    return Status();
   }
 
   // Concatenate along the leading dim: request r owns rows
   // [r * baseDim0, (r+1) * baseDim0) of every batched input and output.
+  // Tensor allocation can throw under memory pressure (or an armed
+  // alloc.tensor fault) — surfaced as a typed status, never a dispatcher
+  // crash.
   const ModelSignature &BaseSig = Base->signature();
   std::vector<Tensor> Batched;
-  Batched.reserve(BaseSig.Inputs.size());
-  for (size_t In = 0; In < BaseSig.Inputs.size(); ++In) {
-    const TensorSpec &Spec = BaseSig.Inputs[In];
-    std::vector<int64_t> Dims = Spec.Sh.dims();
-    Dims[0] *= K;
-    Tensor T(Shape(std::move(Dims)), Spec.Ty);
-    const size_t PerReq = static_cast<size_t>(Spec.Sh.numElements());
-    for (int64_t R = 0; R < K; ++R)
-      std::memcpy(T.data() + static_cast<size_t>(R) * PerReq,
-                  (*Requests[static_cast<size_t>(R)]->Inputs)[In].data(),
-                  PerReq * sizeof(float));
-    Batched.push_back(std::move(T));
-  }
-
-  Expected<std::vector<Tensor>> Out = Session->run(Batched);
-  if (!Out.ok()) {
-    // The inputs satisfied the batch-1 signature and the variant satisfied
-    // the leading-dim contract, so this is unreachable in practice — but
-    // if it ever fires, every waiter still gets a typed status.
-    CompleteAll(Out.status());
-    return;
-  }
-  RecordServed();
-
-  // Slice each request's rows back out into freshly owned tensors.
-  std::vector<Tensor> &BatchedOut = Out.value();
-  for (int64_t R = 0; R < K; ++R) {
-    std::vector<Tensor> Slices;
-    Slices.reserve(BaseSig.Outputs.size());
-    for (size_t O = 0; O < BaseSig.Outputs.size(); ++O) {
-      const TensorSpec &Spec = BaseSig.Outputs[O];
-      Tensor S(Spec.Sh, Spec.Ty);
+  try {
+    Batched.reserve(BaseSig.Inputs.size());
+    for (size_t In = 0; In < BaseSig.Inputs.size(); ++In) {
+      const TensorSpec &Spec = BaseSig.Inputs[In];
+      std::vector<int64_t> Dims = Spec.Sh.dims();
+      Dims[0] *= K;
+      Tensor T(Shape(std::move(Dims)), Spec.Ty);
       const size_t PerReq = static_cast<size_t>(Spec.Sh.numElements());
-      std::memcpy(S.data(),
-                  BatchedOut[O].data() + static_cast<size_t>(R) * PerReq,
-                  PerReq * sizeof(float));
-      Slices.push_back(std::move(S));
+      for (int64_t R = 0; R < K; ++R)
+        std::memcpy(T.data() + static_cast<size_t>(R) * PerReq,
+                    (*Requests[static_cast<size_t>(R)]->Inputs)[In].data(),
+                    PerReq * sizeof(float));
+      Batched.push_back(std::move(T));
     }
-    Admission.release();
-    Requests[static_cast<size_t>(R)]->Done.set_value(std::move(Slices));
+  } catch (const std::bad_alloc &) {
+    return Status::error(ErrorCode::ResourceExhausted,
+                         "out of memory concatenating the sub-batch");
   }
+
+  Expected<std::vector<Tensor>> Out = Session->run(Batched, nullptr, Control);
+  if (!Out.ok())
+    return Out.status();
+
+  // Slice each request's rows back out into freshly owned tensors. Build
+  // every slice before completing anyone: a mid-slice allocation failure
+  // then retries the whole sub-batch instead of double-completing.
+  std::vector<Tensor> &BatchedOut = Out.value();
+  std::vector<std::vector<Tensor>> PerRequest;
+  try {
+    PerRequest.resize(static_cast<size_t>(K));
+    for (int64_t R = 0; R < K; ++R) {
+      std::vector<Tensor> &Slices = PerRequest[static_cast<size_t>(R)];
+      Slices.reserve(BaseSig.Outputs.size());
+      for (size_t O = 0; O < BaseSig.Outputs.size(); ++O) {
+        const TensorSpec &Spec = BaseSig.Outputs[O];
+        Tensor S(Spec.Sh, Spec.Ty);
+        const size_t PerReq = static_cast<size_t>(Spec.Sh.numElements());
+        std::memcpy(S.data(),
+                    BatchedOut[O].data() + static_cast<size_t>(R) * PerReq,
+                    PerReq * sizeof(float));
+        Slices.push_back(std::move(S));
+      }
+    }
+  } catch (const std::bad_alloc &) {
+    return Status::error(ErrorCode::ResourceExhausted,
+                         "out of memory slicing sub-batch outputs");
+  }
+  for (int64_t R = 0; R < K; ++R)
+    completeRequest(Requests[static_cast<size_t>(R)],
+                    std::move(PerRequest[static_cast<size_t>(R)]));
+  return Status();
 }
 
-InferenceSession *DynamicBatcher::variantFor(int64_t B) {
+InferenceSession *DynamicBatcher::variantFor(int64_t B, bool *CoolingDown) {
+  if (CoolingDown)
+    *CoolingDown = false;
   std::lock_guard<std::mutex> Lock(VariantMutex);
+  if (B != 1) {
+    auto BIt = Breakers.find(B);
+    if (BIt != Breakers.end() && BIt->second.Open) {
+      if (Clock::now() < BIt->second.OpenUntil) {
+        if (CoolingDown)
+          *CoolingDown = true;
+        return nullptr;
+      }
+      // Cooldown elapsed: hand the bucket out once as a half-open probe.
+      // Success closes the breaker (recordBucketSuccess); failure re-opens
+      // it for another cooldown (recordBucketFailure).
+      BIt->second.HalfOpen = true;
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.BreakerReprobes;
+    }
+  }
   auto It = Variants.find(B);
   if (It != Variants.end())
     return It->second.get();
-  if (!Factory ||
-      std::find(DeadBuckets.begin(), DeadBuckets.end(), B) !=
-          DeadBuckets.end())
+  if (!Factory)
     return nullptr;
   {
     std::lock_guard<std::mutex> SLock(StatsMutex);
@@ -363,19 +468,67 @@ InferenceSession *DynamicBatcher::variantFor(int64_t B) {
       M.ok() ? checkBatchContract(Base->signature(), M->Signature, B)
              : M.status();
   if (!Contract.ok()) {
-    // The bucket is unusable (factory broke the leading-dim contract, or
-    // its graph failed to compile at this batch). Remember that and fall
-    // back to smaller buckets — bucket 1 always exists.
-    DeadBuckets.push_back(B);
-    std::lock_guard<std::mutex> SLock(StatsMutex);
-    ++Counters.VariantCompileFailures;
+    // The bucket is unusable right now (factory broke the leading-dim
+    // contract, its graph failed to compile at this batch, or a transient
+    // cache/fault window). Trip its breaker and fall back to smaller
+    // buckets — bucket 1 always exists; the cooldown re-probe retries the
+    // compile later in case the failure was transient.
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.VariantCompileFailures;
+    }
+    recordBucketFailureLocked(B);
     return nullptr;
   }
   auto Session =
       std::make_unique<InferenceSession>(M.takeValue(), Opts.Session);
   InferenceSession *Ptr = Session.get();
   Variants.emplace(B, std::move(Session));
+  recordBucketSuccessLocked(B);
   return Ptr;
+}
+
+void DynamicBatcher::recordBucketFailure(int64_t B) {
+  std::lock_guard<std::mutex> Lock(VariantMutex);
+  recordBucketFailureLocked(B);
+}
+
+void DynamicBatcher::recordBucketSuccess(int64_t B) {
+  std::lock_guard<std::mutex> Lock(VariantMutex);
+  recordBucketSuccessLocked(B);
+}
+
+void DynamicBatcher::recordBucketFailureLocked(int64_t B) {
+  if (B == 1)
+    return; // The ladder floor never breaks — solo always stays available.
+  Breaker &Br = Breakers[B];
+  ++Br.ConsecutiveFailures;
+  Br.HalfOpen = false;
+  if (Br.ConsecutiveFailures >= Opts.BreakerFailureThreshold) {
+    // (Re-)open for a cooldown; a failed half-open probe lands here too
+    // and buys the bucket another full cooldown.
+    Br.Open = true;
+    Br.OpenUntil = Clock::now() + micros(Opts.BreakerCooldownMicros);
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Counters.BreakerTrips;
+  }
+}
+
+void DynamicBatcher::recordBucketSuccessLocked(int64_t B) {
+  if (B == 1)
+    return;
+  auto It = Breakers.find(B);
+  if (It == Breakers.end())
+    return;
+  Breaker &Br = It->second;
+  bool Restored = Br.Open;
+  Br.ConsecutiveFailures = 0;
+  Br.Open = false;
+  Br.HalfOpen = false;
+  if (Restored) {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Counters.BreakerRestores;
+  }
 }
 
 ServingStats DynamicBatcher::stats() const {
@@ -394,6 +547,8 @@ ServingStats DynamicBatcher::stats() const {
       SessionMetrics M = Entry.second->metrics();
       Snapshot.Sessions.RequestsServed += M.RequestsServed;
       Snapshot.Sessions.RequestsRejected += M.RequestsRejected;
+      Snapshot.Sessions.RequestsFailed += M.RequestsFailed;
+      Snapshot.Sessions.DeadlinesExceededMidRun += M.DeadlinesExceededMidRun;
       Snapshot.Sessions.CumulativeWallMs += M.CumulativeWallMs;
       Snapshot.Sessions.Engine.add(M.Engine);
       Snapshot.Sessions.ExecMicros.add(M.ExecMicros);

@@ -73,6 +73,15 @@ struct BatcherOptions {
   AdmissionOptions Admission;
   /// Execution options for every per-bucket InferenceSession.
   SessionOptions Session;
+  /// Per-bucket circuit breaker: consecutive compile/execution failures on
+  /// one batch bucket before it opens. While open, dispatch decomposes
+  /// down the ladder (ultimately to solo execution) instead of failing the
+  /// requests; bucket 1 never opens — it is the floor of the ladder.
+  int BreakerFailureThreshold = 1;
+  /// How long an open bucket stays closed to traffic before one dispatch
+  /// re-probes it (a successful probe restores the bucket; a failed one
+  /// re-opens it for another cooldown).
+  int64_t BreakerCooldownMicros = 250000;
 };
 
 /// Serving counters + distributions, snapshot via DynamicBatcher::stats().
@@ -98,10 +107,26 @@ struct ServingStats {
   size_t QueueDepth = 0;
   size_t HighWaterQueueDepth = 0;
   /// Batch-variant compiles performed on demand (cache hits included) and
-  /// buckets abandoned because the factory's graph broke the leading-dim
-  /// contract or failed to compile.
+  /// compiles abandoned because the factory's graph broke the leading-dim
+  /// contract or failed to compile (each such failure trips the bucket's
+  /// circuit breaker).
   uint64_t VariantCompiles = 0;
   uint64_t VariantCompileFailures = 0;
+  /// Circuit-breaker lifecycle: buckets opened (compile/execution failures
+  /// reached BreakerFailureThreshold), cooldown re-probes dispatched, and
+  /// buckets restored to service by a successful re-probe.
+  uint64_t BreakerTrips = 0;
+  uint64_t BreakerReprobes = 0;
+  uint64_t BreakerRestores = 0;
+  /// Requests that executed in a smaller sub-batch than the ladder could
+  /// have offered because an open breaker forced decomposition.
+  uint64_t DegradedRequests = 0;
+  /// Requests completed with a non-deadline execution failure (typed
+  /// Status delivered to the caller after the ladder bottomed out at solo).
+  uint64_t FailedExecution = 0;
+  /// Requests whose deadline expired *mid-execution* (the run aborted at a
+  /// block checkpoint), as opposed to ShedDeadline's never-started.
+  uint64_t DeadlineMidExecution = 0;
   /// Request time spent queued (submit to dispatch).
   LatencyHistogram QueueMicros;
   /// Per-request end-to-end latency (submit to completion).
@@ -183,17 +208,41 @@ private:
                  std::unique_ptr<InferenceSession> BaseSession);
 
   void dispatchLoop();
-  /// Sheds expired requests, decomposes the rest into bucket-sized
-  /// sub-batches, executes each, and fulfills every promise.
+  /// Sheds expired requests, then runs the degradation work-loop: decompose
+  /// into the largest healthy bucket, execute, and on failure either trip
+  /// the bucket's breaker and requeue down the ladder (execution faults) or
+  /// complete the expired requests and retry the rest (mid-run deadline).
+  /// Every request leaves with outputs or a typed Status.
   void processBatch(std::vector<std::shared_ptr<Pending>> Batch,
                     Clock::time_point DispatchTime);
-  /// Executes \p Requests (all same size K = Requests.size()) on the
-  /// bucket-K variant: concatenate along the leading dim, run, slice out.
-  void executeSubBatch(const std::vector<std::shared_ptr<Pending>> &Requests);
+  /// Executes \p Requests (all same size K = Requests.size()) on
+  /// \p Session (the bucket-K variant): concatenate along the leading dim,
+  /// run under the sub-batch's tightest deadline, slice out. On success
+  /// every promise is fulfilled and Ok is returned; on failure *no*
+  /// promise is touched — the caller owns retry/complete policy.
+  Status executeSubBatch(InferenceSession *Session,
+                         const std::vector<std::shared_ptr<Pending>> &Requests);
   /// The session for bucket \p B, compiling it on first use. Returns null
-  /// when no factory is available or the bucket is marked unusable (the
-  /// caller then decomposes into smaller buckets; bucket 1 always exists).
-  InferenceSession *variantFor(int64_t B);
+  /// when no factory is available, the compile fails, or the bucket's
+  /// breaker is open and still cooling down (\p CoolingDown set true in
+  /// that last case so the caller can count degraded requests); the caller
+  /// then decomposes into smaller buckets — bucket 1 always exists and
+  /// never breaks. An open bucket whose cooldown has elapsed is handed out
+  /// once as a half-open probe.
+  InferenceSession *variantFor(int64_t B, bool *CoolingDown = nullptr);
+  /// Breaker bookkeeping after an execution/compile outcome for bucket
+  /// \p B. Failure trips the breaker at BreakerFailureThreshold; success
+  /// closes it (counting a restore if it was open, i.e. a re-probe
+  /// succeeded). Bucket 1 is exempt. The *Locked forms require
+  /// VariantMutex to be held already.
+  void recordBucketFailure(int64_t B);
+  void recordBucketSuccess(int64_t B);
+  void recordBucketFailureLocked(int64_t B);
+  void recordBucketSuccessLocked(int64_t B);
+  /// Completes one request exactly once: releases its admission slot,
+  /// records latency + the outcome counter, fulfills the promise.
+  void completeRequest(const std::shared_ptr<Pending> &Req,
+                       Expected<std::vector<Tensor>> Result);
   /// The leading-dim scaling contract between the batch-1 signature and a
   /// batch-B variant's.
   static Status checkBatchContract(const ModelSignature &BaseSig,
@@ -215,7 +264,20 @@ private:
   /// compile).
   InferenceSession *Base = nullptr; ///< Convenience alias of Variants[1].
   std::map<int64_t, std::unique_ptr<InferenceSession>> Variants;
-  std::vector<int64_t> DeadBuckets; ///< Buckets that failed to compile.
+  /// Per-bucket circuit breaker (guarded by VariantMutex). A bucket whose
+  /// compile or execution fails BreakerFailureThreshold times in a row
+  /// opens: traffic decomposes around it until BreakerCooldownMicros
+  /// elapses, then one dispatch re-probes it (HalfOpen). Compile failures
+  /// and execution faults share the same breaker — both heal the same way,
+  /// by trying again later (a cache that was briefly unreadable, a fault
+  /// window that closed). Bucket 1 has no breaker; it is the ladder floor.
+  struct Breaker {
+    int ConsecutiveFailures = 0;
+    bool Open = false;
+    bool HalfOpen = false; ///< A cooldown re-probe is in flight.
+    Clock::time_point OpenUntil{};
+  };
+  std::map<int64_t, Breaker> Breakers;
   mutable std::mutex VariantMutex;
 
   mutable std::mutex QueueMutex;

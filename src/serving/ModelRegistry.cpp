@@ -3,6 +3,7 @@
 #include "serving/ModelRegistry.h"
 
 #include "serialize/ModelSerializer.h"
+#include "support/Retry.h"
 
 #include <algorithm>
 
@@ -49,7 +50,13 @@ Status ModelRegistry::loadGraph(const std::string &Name, Graph G) {
 
 Status ModelRegistry::loadArtifact(const std::string &Name,
                                    const std::string &Path) {
-  Expected<CompiledModel> M = loadModel(Path);
+  // Artifact reads are the registry's one touch of flaky storage: retry
+  // transient failures with backoff (counters under "registry.artifact").
+  // NotFound and DataLoss return immediately — rereading cannot fix a
+  // missing or corrupt artifact.
+  Expected<CompiledModel> M = retryExpected<CompiledModel>(
+      "registry.artifact", Opts.ArtifactRetry,
+      [&]() -> Expected<CompiledModel> { return loadModel(Path); });
   if (!M.ok())
     return M.status();
   return insert(Name, std::shared_ptr<DynamicBatcher>(

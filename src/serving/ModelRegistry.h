@@ -45,6 +45,10 @@ struct RegistryOptions {
   CompileOptions Compile;
   /// Queueing/batching/admission knobs for every model's front end.
   BatcherOptions Batching;
+  /// Retry budget for loadArtifact's read of flaky storage (transient
+  /// failures only; NotFound/DataLoss are terminal). Counters live under
+  /// the "registry.artifact" retry site.
+  RetryPolicy ArtifactRetry;
 };
 
 /// Counters snapshot (see ModelRegistry::stats).

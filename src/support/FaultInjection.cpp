@@ -1,0 +1,286 @@
+//===- support/FaultInjection.cpp - Seeded fault injection ----------------===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dnnfusion {
+
+std::atomic<bool> FaultInjection::AnyArmed{false};
+
+const std::vector<const char *> &knownFaultPoints() {
+  static const std::vector<const char *> Points = {
+      faultpoints::FileRead,        faultpoints::FileWrite,
+      faultpoints::FileRename,      faultpoints::AllocTensor,
+      faultpoints::AllocArena,      faultpoints::ThreadPoolSpawn,
+      faultpoints::ExecBlock,       faultpoints::KernelDispatch,
+  };
+  return Points;
+}
+
+static bool isKnownFaultPoint(const std::string &Name) {
+  for (const char *P : knownFaultPoints())
+    if (Name == P)
+      return true;
+  return false;
+}
+
+/// True when \p Point matches \p Pattern (exact, or "prefix.*" wildcard).
+static bool patternMatches(const std::string &Pattern, const char *Point) {
+  if (Pattern.size() >= 1 && Pattern.back() == '*')
+    return std::strncmp(Point, Pattern.c_str(), Pattern.size() - 1) == 0;
+  return Pattern == Point;
+}
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection I;
+  return I;
+}
+
+/// The disabled-case fast path (faultShouldFail) short-circuits on AnyArmed
+/// without ever calling instance(), so a process armed *only* through the
+/// environment needs the singleton constructed eagerly — that construction
+/// is what reads DNNFUSION_FAULT_SPEC and sets AnyArmed. (AnyArmed itself
+/// is constant-initialized, so this dynamic initializer cannot race it.)
+static const bool EnvSpecLoaded = [] {
+  if (std::getenv("DNNFUSION_FAULT_SPEC"))
+    (void)FaultInjection::instance();
+  return true;
+}();
+
+FaultInjection::FaultInjection() {
+  reset();
+  // Environment configuration is best-effort: a malformed spec must not
+  // abort library initialization, so the parse error goes to stderr and
+  // the process runs un-faulted (the safe direction).
+  if (const char *Env = std::getenv("DNNFUSION_FAULT_SPEC")) {
+    Status S = configure(Env);
+    if (!S.ok())
+      std::fprintf(stderr, "DNNFUSION_FAULT_SPEC ignored: %s\n",
+                   S.toString().c_str());
+  }
+}
+
+void FaultInjection::refreshEnabledLocked() {
+  AnyArmed.store(!Points.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjection::arm(const std::string &Point, const FaultSpec &Spec) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (Armed &A : Points)
+    if (A.Pattern == Point) {
+      A.Spec = Spec;
+      A.Checks = 0;
+      A.Triggers = 0;
+      refreshEnabledLocked();
+      return;
+    }
+  Points.push_back(Armed{Point, Spec, 0, 0});
+  refreshEnabledLocked();
+}
+
+void FaultInjection::disarm(const std::string &Point) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Points.erase(std::remove_if(Points.begin(), Points.end(),
+                              [&](const Armed &A) { return A.Pattern == Point; }),
+               Points.end());
+  refreshEnabledLocked();
+}
+
+void FaultInjection::reset(uint64_t Seed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Points.clear();
+  Stats.clear();
+  RngState = Seed;
+  Total = 0;
+  refreshEnabledLocked();
+}
+
+Status FaultInjection::configure(const std::string &Spec) {
+  // Parse fully into staged form first so a malformed trailing entry does
+  // not leave half the spec applied.
+  struct Staged {
+    std::string Pattern;
+    FaultSpec Spec;
+  };
+  std::vector<Staged> StagedPoints;
+  bool HaveSeed = false;
+  uint64_t Seed = 0;
+
+  for (const std::string &RawEntry : splitString(Spec, ';')) {
+    std::string Entry = trimString(RawEntry);
+    if (Entry.empty())
+      continue;
+
+    if (Entry.rfind("seed=", 0) == 0) {
+      char *End = nullptr;
+      Seed = std::strtoull(Entry.c_str() + 5, &End, 10);
+      if (End == Entry.c_str() + 5 || *End != '\0')
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "fault spec: bad seed entry '%s'", Entry.c_str());
+      HaveSeed = true;
+      continue;
+    }
+
+    Staged S;
+    std::string::size_type Colon = Entry.find(':');
+    S.Pattern = trimString(Entry.substr(0, Colon));
+    if (S.Pattern.empty())
+      return Status::errorf(ErrorCode::InvalidArgument,
+                            "fault spec: empty point name in '%s'",
+                            Entry.c_str());
+    bool Wildcard = S.Pattern.back() == '*';
+    if (!Wildcard && !isKnownFaultPoint(S.Pattern))
+      return Status::errorf(ErrorCode::InvalidArgument,
+                            "fault spec: unknown fault point '%s'",
+                            S.Pattern.c_str());
+
+    if (Colon != std::string::npos) {
+      for (const std::string &RawOpt :
+           splitString(Entry.substr(Colon + 1), ',')) {
+        std::string Opt = trimString(RawOpt);
+        if (Opt.empty())
+          continue;
+        std::string::size_type Eq = Opt.find('=');
+        if (Eq == std::string::npos)
+          return Status::errorf(ErrorCode::InvalidArgument,
+                                "fault spec: bad option '%s' (want key=value)",
+                                Opt.c_str());
+        std::string Key = trimString(Opt.substr(0, Eq));
+        std::string Val = trimString(Opt.substr(Eq + 1));
+        char *End = nullptr;
+        if (Key == "p") {
+          S.Spec.Probability = std::strtod(Val.c_str(), &End);
+          if (End == Val.c_str() || *End != '\0' || S.Spec.Probability < 0.0 ||
+              S.Spec.Probability > 1.0)
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "fault spec: bad probability '%s'",
+                                  Val.c_str());
+        } else if (Key == "max") {
+          S.Spec.MaxTriggers = std::strtoll(Val.c_str(), &End, 10);
+          if (End == Val.c_str() || *End != '\0')
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "fault spec: bad max '%s'", Val.c_str());
+        } else if (Key == "skip") {
+          S.Spec.SkipFirst = std::strtoll(Val.c_str(), &End, 10);
+          if (End == Val.c_str() || *End != '\0' || S.Spec.SkipFirst < 0)
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "fault spec: bad skip '%s'", Val.c_str());
+        } else {
+          return Status::errorf(ErrorCode::InvalidArgument,
+                                "fault spec: unknown option key '%s'",
+                                Key.c_str());
+        }
+      }
+    }
+    StagedPoints.push_back(std::move(S));
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (HaveSeed)
+    RngState = Seed;
+  for (Staged &S : StagedPoints) {
+    bool Replaced = false;
+    for (Armed &A : Points)
+      if (A.Pattern == S.Pattern) {
+        A.Spec = S.Spec;
+        A.Checks = 0;
+        A.Triggers = 0;
+        Replaced = true;
+        break;
+      }
+    if (!Replaced)
+      Points.push_back(Armed{std::move(S.Pattern), S.Spec, 0, 0});
+  }
+  refreshEnabledLocked();
+  return Status();
+}
+
+FaultInjection::Armed *FaultInjection::findArmedLocked(const char *Point) {
+  // Exact pattern wins over wildcard so "fileio.*;fileio.read:p=0" behaves
+  // as the spec reads.
+  Armed *Wild = nullptr;
+  for (Armed &A : Points) {
+    if (A.Pattern == Point)
+      return &A;
+    if (!Wild && patternMatches(A.Pattern, Point))
+      Wild = &A;
+  }
+  return Wild;
+}
+
+bool FaultInjection::shouldFail(const char *Point) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Armed *A = findArmedLocked(Point);
+  if (!A)
+    return false;
+
+  A->Checks++;
+  // Per-point stats survive disarm/rearm; keyed by concrete point name,
+  // not pattern, so a wildcard arming still reports per-site counters.
+  FaultPointStats *PS = nullptr;
+  for (FaultPointStats &S : Stats)
+    if (S.Point == Point) {
+      PS = &S;
+      break;
+    }
+  if (!PS) {
+    Stats.push_back(FaultPointStats{Point, 0, 0});
+    PS = &Stats.back();
+  }
+  PS->Checks++;
+
+  if (A->Checks <= A->Spec.SkipFirst)
+    return false;
+  if (A->Spec.MaxTriggers >= 0 && A->Triggers >= A->Spec.MaxTriggers)
+    return false;
+
+  bool Fire = true;
+  if (A->Spec.Probability < 1.0) {
+    Rng R(RngState);
+    double Draw = static_cast<double>(R.next() >> 11) * 0x1.0p-53;
+    RngState = R.next();
+    Fire = Draw < A->Spec.Probability;
+  }
+  if (Fire) {
+    A->Triggers++;
+    PS->Triggers++;
+    Total++;
+  }
+  return Fire;
+}
+
+FaultPointStats FaultInjection::pointStats(const std::string &Point) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const FaultPointStats &S : Stats)
+    if (S.Point == Point)
+      return S;
+  return FaultPointStats{Point, 0, 0};
+}
+
+std::vector<FaultPointStats> FaultInjection::statsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<FaultPointStats> Out = Stats;
+  std::sort(Out.begin(), Out.end(),
+            [](const FaultPointStats &A, const FaultPointStats &B) {
+              return A.Point < B.Point;
+            });
+  return Out;
+}
+
+int64_t FaultInjection::totalTriggers() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Total;
+}
+
+} // namespace dnnfusion

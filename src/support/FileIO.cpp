@@ -2,6 +2,7 @@
 
 #include "support/FileIO.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <atomic>
@@ -15,6 +16,9 @@
 using namespace dnnfusion;
 
 Expected<std::string> dnnfusion::readFileBytes(const std::string &Path) {
+  if (faultShouldFail(faultpoints::FileRead))
+    return Status::errorf(ErrorCode::Internal,
+                          "injected fault fileio.read on '%s'", Path.c_str());
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     ErrorCode Code =
@@ -37,6 +41,9 @@ Expected<std::string> dnnfusion::readFileBytes(const std::string &Path) {
 
 Status dnnfusion::writeFileAtomic(const std::string &Path,
                                   const std::string &Bytes) {
+  if (faultShouldFail(faultpoints::FileWrite))
+    return Status::errorf(ErrorCode::Internal,
+                          "injected fault fileio.write on '%s'", Path.c_str());
   // Unique per writer — pid alone is not enough, two threads of one
   // process storing the same cache entry would share a temp file and
   // rename interleaved garbage into place. With a per-process counter,
@@ -58,6 +65,11 @@ Status dnnfusion::writeFileAtomic(const std::string &Path,
     std::remove(TmpPath.c_str());
     return Status::errorf(ErrorCode::Internal, "short write to '%s'",
                           TmpPath.c_str());
+  }
+  if (faultShouldFail(faultpoints::FileRename)) {
+    std::remove(TmpPath.c_str());
+    return Status::errorf(ErrorCode::Internal,
+                          "injected fault fileio.rename on '%s'", Path.c_str());
   }
   if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
     std::remove(TmpPath.c_str());

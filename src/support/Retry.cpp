@@ -1,0 +1,115 @@
+//===- support/Retry.cpp - Budgeted retry with exponential backoff --------===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace dnnfusion {
+
+bool isTransient(ErrorCode Code) {
+  return Code == ErrorCode::Internal || Code == ErrorCode::ResourceExhausted;
+}
+
+namespace {
+
+/// Process-wide per-site counters. A retry loop is always on a slow path
+/// (disk I/O just failed), so one mutex is plenty.
+struct RetryAccounting {
+  std::mutex Mutex;
+  std::vector<RetrySiteStats> Sites;
+
+  RetrySiteStats *findLocked(const std::string &Site) {
+    for (RetrySiteStats &S : Sites)
+      if (S.Site == Site)
+        return &S;
+    Sites.push_back(RetrySiteStats{Site, 0, 0, 0});
+    return &Sites.back();
+  }
+};
+
+RetryAccounting &accounting() {
+  static RetryAccounting A;
+  return A;
+}
+
+} // namespace
+
+Status retryStatus(const char *Site, const RetryPolicy &Policy,
+                   const std::function<Status()> &Op) {
+  const int MaxAttempts = std::max(1, Policy.MaxAttempts);
+  Rng Jitter(Policy.Seed);
+  double BackoffMicros = static_cast<double>(Policy.InitialBackoffMicros);
+  Status Last;
+
+  for (int Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    {
+      std::lock_guard<std::mutex> Lock(accounting().Mutex);
+      accounting().findLocked(Site)->Attempts++;
+    }
+    Last = Op();
+    if (Last.ok()) {
+      if (Attempt > 1) {
+        std::lock_guard<std::mutex> Lock(accounting().Mutex);
+        accounting().findLocked(Site)->RetriedThenSucceeded++;
+      }
+      return Last;
+    }
+    if (!isTransient(Last.code()))
+      return Last;
+    if (Attempt == MaxAttempts)
+      break;
+
+    double Scale = 1.0;
+    if (Policy.JitterFraction > 0.0) {
+      double Draw = static_cast<double>(Jitter.next() >> 11) * 0x1.0p-53;
+      Scale = 1.0 - Policy.JitterFraction +
+              2.0 * Policy.JitterFraction * Draw;
+    }
+    int64_t SleepMicros = static_cast<int64_t>(
+        std::min(BackoffMicros, static_cast<double>(Policy.MaxBackoffMicros)) *
+        Scale);
+    if (SleepMicros > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(SleepMicros));
+    BackoffMicros *= Policy.Multiplier;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(accounting().Mutex);
+    accounting().findLocked(Site)->Exhausted++;
+  }
+  return Last;
+}
+
+RetrySiteStats retrySiteStats(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(accounting().Mutex);
+  for (const RetrySiteStats &S : accounting().Sites)
+    if (S.Site == Site)
+      return S;
+  return RetrySiteStats{Site, 0, 0, 0};
+}
+
+std::vector<RetrySiteStats> retryStatsSnapshot() {
+  std::lock_guard<std::mutex> Lock(accounting().Mutex);
+  std::vector<RetrySiteStats> Out = accounting().Sites;
+  std::sort(Out.begin(), Out.end(),
+            [](const RetrySiteStats &A, const RetrySiteStats &B) {
+              return A.Site < B.Site;
+            });
+  return Out;
+}
+
+void resetRetryStatsForTests() {
+  std::lock_guard<std::mutex> Lock(accounting().Mutex);
+  accounting().Sites.clear();
+}
+
+} // namespace dnnfusion

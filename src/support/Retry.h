@@ -1,0 +1,96 @@
+//===- support/Retry.h - Budgeted retry with exponential backoff -*- C++ -*-===//
+//
+// Part of the DNNFusion reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retry-with-exponential-backoff for the I/O the serving stack treats as
+/// transient: compilation-cache reads/writes and model-artifact loads. A
+/// RetryPolicy bounds attempts and sleep time (jittered so a fleet of
+/// processes retrying the same artifact doesn't thundering-herd the
+/// filesystem), retryStatus() centralizes which ErrorCodes are worth
+/// retrying, and per-site counters distinguish retried-then-succeeded from
+/// budget-exhausted so the metrics can tell a blip from an outage.
+///
+/// Not retried: InvalidArgument/InvalidGraph/NotFound (retrying a wrong
+/// request yields the same wrong request), DataLoss (corrupt bytes stay
+/// corrupt; the cache's answer is recompile, not reread), DeadlineExceeded
+/// (the caller already ran out of time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNNFUSION_SUPPORT_RETRY_H
+#define DNNFUSION_SUPPORT_RETRY_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dnnfusion {
+
+/// Bounds one retry loop. Defaults are tuned for local-filesystem blips:
+/// three attempts, sub-millisecond initial backoff.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int MaxAttempts = 3;
+  /// Sleep before the first retry, microseconds.
+  int64_t InitialBackoffMicros = 200;
+  /// Backoff ceiling per sleep, microseconds.
+  int64_t MaxBackoffMicros = 20000;
+  /// Backoff growth per retry.
+  double Multiplier = 2.0;
+  /// Each sleep is scaled by a uniform draw from [1-J, 1+J].
+  double JitterFraction = 0.25;
+  /// Seeds the jitter stream (deterministic tests).
+  uint64_t Seed = 0x243f6a8885a308d3ull;
+};
+
+/// True when \p Code is worth retrying: Internal (the code transient I/O
+/// failures surface as) and ResourceExhausted (momentary pressure).
+bool isTransient(ErrorCode Code);
+
+/// Per-site retry counters, queryable by name.
+struct RetrySiteStats {
+  std::string Site;
+  int64_t Attempts = 0;             ///< Operation invocations, all outcomes.
+  int64_t RetriedThenSucceeded = 0; ///< Succeeded on attempt >= 2.
+  int64_t Exhausted = 0;            ///< Budget spent, last error returned.
+};
+
+/// Runs \p Op under \p Policy, retrying transient failures with jittered
+/// exponential backoff, accounting under \p Site. Returns the first
+/// success, the first non-transient failure, or — budget exhausted — the
+/// last transient failure.
+Status retryStatus(const char *Site, const RetryPolicy &Policy,
+                   const std::function<Status()> &Op);
+
+/// Expected<T> variant of retryStatus.
+template <typename T>
+Expected<T> retryExpected(const char *Site, const RetryPolicy &Policy,
+                          const std::function<Expected<T>()> &Op) {
+  Expected<T> Result = Status::error(ErrorCode::Internal, "retry: never ran");
+  Status S = retryStatus(Site, Policy, [&]() -> Status {
+    Result = Op();
+    return Result.ok() ? Status() : Result.status();
+  });
+  if (!S.ok())
+    return S;
+  return Result;
+}
+
+/// Counters for \p Site (zeros when the site never ran).
+RetrySiteStats retrySiteStats(const std::string &Site);
+
+/// All sites that ever ran, name-sorted.
+std::vector<RetrySiteStats> retryStatsSnapshot();
+
+/// Clears all per-site counters (test isolation).
+void resetRetryStatsForTests();
+
+} // namespace dnnfusion
+
+#endif // DNNFUSION_SUPPORT_RETRY_H

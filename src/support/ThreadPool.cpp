@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 
 using namespace dnnfusion;
@@ -101,7 +103,11 @@ void ThreadPool::parallelFor(
   // from one of our own workers must not block on the queue (deadlock).
   const int64_t MinPerSlice = 4096;
   unsigned Slices = numThreads();
-  if (Slices <= 1 || Count < 2 * MinPerSlice || onWorkerThread()) {
+  // threadpool.spawn degrades to inline execution on the calling thread —
+  // correct (same slicing semantics, lane 0 like any master thread), just
+  // serial. No error surfaces; this is the pool's graceful-degradation path.
+  if (Slices <= 1 || Count < 2 * MinPerSlice || onWorkerThread() ||
+      faultShouldFail(faultpoints::ThreadPoolSpawn)) {
     Body(0, Count);
     return;
   }
@@ -127,7 +133,8 @@ void ThreadPool::forEach(int64_t Count,
                          const std::function<void(int64_t, unsigned)> &Body) {
   if (Count <= 0)
     return;
-  if (Count == 1 || numThreads() <= 1 || onWorkerThread()) {
+  if (Count == 1 || numThreads() <= 1 || onWorkerThread() ||
+      faultShouldFail(faultpoints::ThreadPoolSpawn)) {
     unsigned Lane = currentLane();
     for (int64_t I = 0; I < Count; ++I)
       Body(I, Lane);

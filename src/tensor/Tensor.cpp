@@ -3,14 +3,32 @@
 #include "tensor/Tensor.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cstring>
+#include <new>
 
 using namespace dnnfusion;
 
+namespace {
+
+/// Allocation funnel for owned tensor storage: the alloc.tensor fault point
+/// simulates OOM here so the chaos harness can prove every allocation site
+/// between a request and its kernels surfaces ResourceExhausted instead of
+/// crashing. Throws std::bad_alloc exactly like a real exhausted heap; the
+/// request boundary (InferenceSession) catches it.
+float *allocateTensorStorage(size_t Elements) {
+  if (faultShouldFail(faultpoints::AllocTensor))
+    throw std::bad_alloc();
+  return new float[Elements];
+}
+
+} // namespace
+
 Tensor::Tensor(Shape S, DType Ty)
     : TensorShape(std::move(S)), Ty(Ty),
-      Storage(new float[static_cast<size_t>(TensorShape.numElements())],
+      Storage(allocateTensorStorage(
+                  static_cast<size_t>(TensorShape.numElements())),
               std::default_delete<float[]>()) {}
 
 Tensor Tensor::full(const Shape &S, float Value) {

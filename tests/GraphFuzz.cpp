@@ -28,13 +28,17 @@
 
 #include "GraphFuzz.h"
 
+#include "ops/KernelRegistry.h"
 #include "ops/OpSchema.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/InferenceSession.h"
 #include "serialize/GraphSerializer.h"
 #include "serialize/ModelSerializer.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "tensor/TensorUtils.h"
+
+#include <unistd.h>
 
 #include <cstring>
 
@@ -1517,6 +1521,82 @@ std::string fuzzSerializeRoundtrip(const FuzzSpec &Spec) {
   for (int I = 0; I < 4; ++I)
     (void)graphFromText(
         TextDoc.substr(0, static_cast<size_t>(R.nextBelow(TextDoc.size()))));
+  return "";
+}
+
+std::string fuzzFaultInjection(const FuzzSpec &Spec) {
+  FaultInjection &FI = FaultInjection::instance();
+  auto Fail = [&](const char *Point, const std::string &Detail) {
+    FI.reset();
+    resetKernelDegradeLatchForTests();
+    return formatString("GraphFuzz seed %llu: fault point %s: %s",
+                        static_cast<unsigned long long>(Spec.Seed), Point,
+                        Detail.c_str());
+  };
+  // Compile through an on-disk cache so the fileio points sit on a real
+  // code path; a tiny retry budget keeps the sweep fast while still
+  // exercising the backoff loop.
+  CompileOptions Options;
+  Options.CacheDir = formatString("/tmp/dnnf_fuzzfault_%d_%llu",
+                                  static_cast<int>(getpid()),
+                                  static_cast<unsigned long long>(Spec.Seed));
+  Options.CacheRetry.InitialBackoffMicros = 20;
+  Options.CacheRetry.MaxBackoffMicros = 100;
+
+  for (const char *Point : knownFaultPoints()) {
+    // Build the harness's own material (graph, inputs) before arming: the
+    // system under test starts at compileModel.
+    Graph G = buildGraph(Spec);
+    std::vector<Tensor> Inputs = specInputs(Spec);
+    const bool AllocPoint = std::strncmp(Point, "alloc.", 6) == 0;
+
+    FI.reset(Spec.Seed * 1315423911u + 17);
+    FaultSpec FS;
+    FS.Probability = 0.6;
+    FI.arm(Point, FS);
+
+    std::string Report;
+    try {
+      Expected<CompiledModel> M = compileModel(std::move(G), Options);
+      if (M.ok()) {
+        InferenceSession Session(M.takeValue());
+        for (int I = 0; I < 4; ++I) {
+          Expected<std::vector<Tensor>> Out = Session.run(Inputs);
+          (void)Out; // Ok or typed Status; an abort kills the detector.
+        }
+        if (Session.idleContexts() != Session.contextsCreated())
+          Report = formatString("leaked contexts (%u idle of %u created)",
+                                Session.idleContexts(),
+                                Session.contextsCreated());
+      }
+    } catch (const std::bad_alloc &) {
+      // Only the alloc points may surface as bad_alloc, and only from the
+      // compile/construction path — the request boundary converts it.
+      if (!AllocPoint)
+        Report = "unexpected std::bad_alloc escaped";
+    } catch (...) {
+      Report = "unexpected exception escaped";
+    }
+    FI.reset();
+    if (!Report.empty())
+      return Fail(Point, Report);
+
+    // Healthy after the fault clears: a clean compile + serve must succeed
+    // (the kernel degrade latch is one-way by design, and scalar execution
+    // is bit-identical, so kernel.dispatch does not exempt this probe).
+    Expected<CompiledModel> Clean = compileModel(buildGraph(Spec), Options);
+    if (!Clean.ok())
+      return Fail(Point, "clean recompile failed after disarm: " +
+                             Clean.status().toString());
+    InferenceSession Session(Clean.takeValue());
+    Expected<std::vector<Tensor>> Out = Session.run(Inputs);
+    if (!Out.ok())
+      return Fail(Point, "clean run failed after disarm: " +
+                         Out.status().toString());
+  }
+  // The kernel.dispatch sweep latched the process onto the scalar tier;
+  // un-latch so the rest of this test binary measures the real registry.
+  resetKernelDegradeLatchForTests();
   return "";
 }
 

@@ -202,6 +202,17 @@ std::string fuzzMalformedRequests(const FuzzSpec &Spec);
 /// diagnostic otherwise.
 std::string fuzzSerializeRoundtrip(const FuzzSpec &Spec);
 
+/// The fault-injection dimension: arms every known fault point in turn
+/// (seeded, intermittent, derived from Spec.Seed) and drives compile —
+/// through an on-disk compilation cache so the fileio points bite — plus a
+/// burst of serving requests over \p Spec. Required behavior per point:
+/// typed Status or success from every API call (std::bad_alloc may escape
+/// only from the alloc.* points' compile path — the request boundary
+/// converts it), no context-pool leak after drain, and a clean compile +
+/// run once the fault is disarmed. An abort kills this process, which is
+/// the detector. Returns "" on success, a diagnostic otherwise.
+std::string fuzzFaultInjection(const FuzzSpec &Spec);
+
 } // namespace testutil
 } // namespace dnnfusion
 

@@ -252,18 +252,32 @@ TEST_F(ApiBoundary, SessionServesValidRequestsAfterAStormOfBadOnes) {
       ASSERT_EQ(After[I].at(E), Golden[I].at(E));
 }
 
-TEST_F(ApiBoundary, BatchWithOneBadRequestIsRejectedWithItsIndex) {
+TEST_F(ApiBoundary, BatchFailuresAreIndexTaggedAndDoNotPoisonSiblings) {
+  std::vector<Tensor> Golden = cantFail(Session.run({imageTensor()}));
   std::vector<std::vector<Tensor>> Batch;
   Batch.push_back({imageTensor()});
   Batch.push_back({Tensor::zeros(Shape({1, 1}))}); // Malformed.
   Batch.push_back({imageTensor()});
-  Expected<std::vector<std::vector<Tensor>>> R = Session.runBatch(Batch);
-  ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.status().message().find("batch request 1"), std::string::npos)
-      << R.status().toString();
-  // Nothing executed; a clean batch then goes through.
+  std::vector<Expected<std::vector<Tensor>>> R = Session.runBatch(Batch);
+  ASSERT_EQ(R.size(), Batch.size());
+  // The malformed entry carries its own index-tagged Status...
+  ASSERT_FALSE(R[1].ok());
+  EXPECT_EQ(R[1].status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(R[1].status().message().find("batch request 1"),
+            std::string::npos)
+      << R[1].status().toString();
+  // ...while its siblings executed to correct results regardless.
+  for (size_t E : {size_t(0), size_t(2)}) {
+    ASSERT_TRUE(R[E].ok()) << R[E].status().toString();
+    ASSERT_EQ(R[E].value().size(), Golden.size());
+    for (size_t I = 0; I < Golden.size(); ++I)
+      for (int64_t J = 0; J < Golden[I].numElements(); ++J)
+        ASSERT_EQ(R[E].value()[I].at(J), Golden[I].at(J));
+  }
+  // A fully clean batch succeeds entry-wise.
   Batch[1] = {imageTensor()};
-  EXPECT_TRUE(Session.runBatch(Batch).ok());
+  for (const Expected<std::vector<Tensor>> &Entry : Session.runBatch(Batch))
+    EXPECT_TRUE(Entry.ok()) << Entry.status().toString();
 }
 
 TEST_F(ApiBoundary, ValidateRequestMirrorsRunAcceptance) {
@@ -289,11 +303,14 @@ TEST_F(ApiBoundary, MetricsCountServedRejectedAndWallTime) {
   cantFail(Session.run({{"image", imageTensor()}}));
   EXPECT_FALSE(Session.run(std::vector<Tensor>{}).ok());
   EXPECT_FALSE(Session.run({{"bogus", imageTensor()}}).ok());
-  cantFail(Session.runBatch({{imageTensor()}, {imageTensor()}}));
+  for (const Expected<std::vector<Tensor>> &Entry :
+       Session.runBatch({{imageTensor()}, {imageTensor()}}))
+    EXPECT_TRUE(Entry.ok()) << Entry.status().toString();
 
   SessionMetrics After = Session.metrics();
   EXPECT_EQ(After.RequestsServed, 4u);
   EXPECT_EQ(After.RequestsRejected, 2u);
+  EXPECT_EQ(After.RequestsFailed, 0u);
   EXPECT_GT(After.CumulativeWallMs, 0.0);
 }
 

@@ -280,4 +280,23 @@ TEST_P(SerializeRoundtripFuzz, ArtifactsRoundtripAndCorruptionRejects) {
 INSTANTIATE_TEST_SUITE_P(Sweep, SerializeRoundtripFuzz,
                          ::testing::Range(0, 40));
 
+//===----------------------------------------------------------------------===//
+// The fault-injection dimension
+//===----------------------------------------------------------------------===//
+
+/// Every fuzzed model must survive each known fault point firing
+/// intermittently through compile (via the on-disk cache) and serving:
+/// typed Status or success from every call, no context leaks, healthy
+/// again once the fault clears. An abort or deadlock kills/hangs this
+/// binary, which is the detector.
+class FaultInjectionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultInjectionFuzz, FaultsSurfaceTypedAndClear) {
+  std::string Report =
+      fuzzFaultInjection(generateSpec(sweepSeed(GetParam())));
+  EXPECT_TRUE(Report.empty()) << Report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultInjectionFuzz, ::testing::Range(0, 12));
+
 } // namespace

@@ -14,6 +14,7 @@
 #include <dnnfusion/dnnfusion.h>
 
 #include "models/ModelZoo.h"
+#include "support/FaultInjection.h"
 #include "support/FileIO.h"
 #include "support/LatencyHistogram.h"
 #include "tensor/TensorUtils.h"
@@ -21,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace dnnfusion;
@@ -405,6 +407,157 @@ TEST(DynamicBatcher, InvalidRequestIsRejectedBeforeQueueing) {
   ServingStats S = B.value()->stats();
   EXPECT_EQ(S.RejectedValidation, 1u);
   EXPECT_EQ(S.QueueMicros.Count, 0u); // Never queued.
+}
+
+//===----------------------------------------------------------------------===//
+// Resilience: circuit breakers, combined shedding gates, shutdown races
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicBatcher, BreakerTripsDecomposesAndRecovers) {
+  FaultInjection::instance().reset();
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxBatchSize = 4;
+  O.BatchSizes = {1, 2, 4};
+  O.MaxQueueDelayMicros = 100000; // Wide enough to definitely coalesce.
+  O.BreakerCooldownMicros = 30000;
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 12);
+  auto submitWave = [&] {
+    std::vector<std::thread> Threads;
+    for (int R = 0; R < 4; ++R)
+      Threads.emplace_back([&] {
+        Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+        // Only a fault landing on a solo execution (ladder floor) may
+        // surface to a caller; everything else decomposes and serves.
+        if (!Out.ok()) {
+          EXPECT_EQ(Out.status().code(), ErrorCode::Internal)
+              << Out.status().toString();
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  };
+
+  submitWave(); // Warm, un-faulted: compiles the coalesced-bucket variant.
+  ASSERT_EQ(B.value()->stats().Served, 4u);
+
+  // One injected block fault per wave: the coalesced batch's execution
+  // fails, its bucket's breaker trips, and the work decomposes down the
+  // ladder instead of failing the requests. A wave that happens not to
+  // coalesce (fault burns on a solo run, no trip) is retried.
+  FaultSpec Once;
+  Once.MaxTriggers = 1;
+  for (int Wave = 0; Wave < 10 && B.value()->stats().BreakerTrips == 0;
+       ++Wave) {
+    FaultInjection::instance().arm(faultpoints::ExecBlock, Once);
+    submitWave();
+    FaultInjection::instance().reset();
+  }
+  ServingStats Tripped = B.value()->stats();
+  EXPECT_GE(Tripped.BreakerTrips, 1u);
+  EXPECT_GE(Tripped.DegradedRequests, 1u); // Decomposition was forced...
+  EXPECT_EQ(Tripped.QueueDepth, 0u);       // ...and nothing was stranded.
+
+  // After the cooldown, one dispatch hands the open bucket out as a
+  // half-open probe; the healthy execution restores it to service.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(2 * O.BreakerCooldownMicros));
+  for (int Wave = 0; Wave < 10 && B.value()->stats().BreakerRestores == 0;
+       ++Wave)
+    submitWave();
+  ServingStats Restored = B.value()->stats();
+  EXPECT_GE(Restored.BreakerReprobes, 1u);
+  EXPECT_GE(Restored.BreakerRestores, 1u);
+  FaultInjection::instance().reset();
+}
+
+TEST(DynamicBatcher, QueueFullAndDeadlineStormResolvesEverySubmitOnce) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.Admission.MaxQueueDepth = 2;
+  O.MaxQueueDelayMicros = 20000;
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 13);
+
+  // 1 us deadlines against a 20 ms window and a 2-deep queue: both
+  // shedding gates fire across the same storm, and every submit must
+  // still resolve exactly once with a typed outcome.
+  const int N = 16;
+  std::atomic<int> Ok{0}, QueueFull{0}, Deadline{0}, Other{0};
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < N; ++R)
+    Threads.emplace_back([&] {
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In, 1);
+      if (Out.ok())
+        ++Ok;
+      else if (Out.status().code() == ErrorCode::ResourceExhausted)
+        ++QueueFull;
+      else if (Out.status().code() == ErrorCode::DeadlineExceeded)
+        ++Deadline;
+      else
+        ++Other;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Ok + QueueFull + Deadline, N);
+  EXPECT_EQ(Other.load(), 0);
+  EXPECT_GT(Deadline.load(), 0);  // The admitted requests expired...
+  EXPECT_GT(QueueFull.load(), 0); // ...while holding the queue full.
+  ServingStats S = B.value()->stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.ShedQueueFull, static_cast<uint64_t>(QueueFull.load()));
+  EXPECT_EQ(S.ShedDeadline + S.DeadlineMidExecution,
+            static_cast<uint64_t>(Deadline.load()));
+  EXPECT_EQ(S.QueueDepth, 0u); // Nothing stranded.
+
+  // Both gates clear: an undeadlined submit is served.
+  Expected<std::vector<Tensor>> After = B.value()->submit(In);
+  EXPECT_TRUE(After.ok()) << After.status().toString();
+}
+
+TEST(DynamicBatcher, ShutdownRacesInFlightSubmitsCleanly) {
+  CompileOptions Compile;
+  BatcherOptions O;
+  O.MaxBatchSize = 2;            // Small batches: several dispatches race.
+  O.MaxQueueDelayMicros = 20000; // Requests pile up before the window closes.
+  Expected<std::unique_ptr<DynamicBatcher>> B =
+      DynamicBatcher::create(mlp, Compile, O);
+  ASSERT_TRUE(B.ok());
+  std::vector<Tensor> In = requestInputs(B.value()->signature(), 14);
+
+  const int N = 6;
+  std::atomic<int> Resolved{0};
+  std::vector<std::thread> Threads;
+  for (int R = 0; R < N; ++R)
+    Threads.emplace_back([&] {
+      Expected<std::vector<Tensor>> Out = B.value()->submit(In);
+      // Served or drained; either way typed, exactly once.
+      if (!Out.ok()) {
+        EXPECT_EQ(Out.status().code(), ErrorCode::FailedPrecondition)
+            << Out.status().toString();
+      }
+      ++Resolved;
+    });
+
+  // Destroy only once every request is queued or resolved: a request in
+  // neither count is still inside submit()'s pre-queue section, which the
+  // destructor does not synchronize with (reading Resolved first keeps
+  // the check conservative — a request can only move queued -> resolved).
+  for (;;) {
+    int Done = Resolved.load();
+    if (Done + static_cast<int>(B.value()->stats().QueueDepth) >= N)
+      break;
+    std::this_thread::yield();
+  }
+  B.value().reset(); // Races the dispatcher mid-window / mid-batch.
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Resolved.load(), N); // No submit hung and none vanished.
 }
 
 //===----------------------------------------------------------------------===//

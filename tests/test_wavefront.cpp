@@ -272,13 +272,14 @@ TEST(InferenceSession, RunBatchMatchesIndividualRuns) {
   std::vector<std::vector<Tensor>> Batch;
   for (uint64_t Seed = 0; Seed < 6; ++Seed)
     Batch.push_back(randomInputs(Session.model().G, 41 + Seed));
-  std::vector<std::vector<Tensor>> Results = cantFail(Session.runBatch(Batch));
+  std::vector<Expected<std::vector<Tensor>>> Results = Session.runBatch(Batch);
   ASSERT_EQ(Results.size(), Batch.size());
   for (size_t R = 0; R < Batch.size(); ++R) {
+    ASSERT_TRUE(Results[R].ok()) << Results[R].status().toString();
     std::vector<Tensor> Solo = cantFail(Session.run(Batch[R]));
-    ASSERT_EQ(Results[R].size(), Solo.size());
+    ASSERT_EQ(Results[R].value().size(), Solo.size());
     for (size_t I = 0; I < Solo.size(); ++I)
-      EXPECT_EQ(maxAbsDiff(Results[R][I], Solo[I]), 0.0f)
+      EXPECT_EQ(maxAbsDiff(Results[R].value()[I], Solo[I]), 0.0f)
           << "request " << R << " output " << I;
   }
 }

@@ -90,8 +90,18 @@ int verifyOne(const CompilationCache &Cache, uint64_t Key) {
 int cmdVerify(const CompilationCache &Cache, int Argc, char **Argv) {
   int Failures = 0;
   if (Argc == 0) {
-    for (const CacheEntryInfo &E : Cache.entries())
-      Failures += verifyOne(Cache, E.Key);
+    // Full sweep through verifyAll: entries evicted concurrently (by
+    // another process sharing the directory) are reported as skipped, not
+    // counted as failures — a health check must not page on LRU churn.
+    CacheVerifySweep Sweep = Cache.verifyAll();
+    for (const auto &F : Sweep.Failures)
+      std::printf("%016" PRIx64 "  %s\n", F.first, F.second.toString().c_str());
+    std::printf("%lld verified, %lld skipped (evicted concurrently), "
+                "%zu failed\n",
+                static_cast<long long>(Sweep.Verified),
+                static_cast<long long>(Sweep.SkippedEvicted),
+                Sweep.Failures.size());
+    Failures = static_cast<int>(Sweep.Failures.size());
   } else {
     for (int I = 0; I < Argc; ++I) {
       uint64_t Key;
